@@ -1,0 +1,47 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Each fig5*_ binary regenerates one figure of the paper's evaluation
+// (Section V): it sweeps the figure's x-axis, runs the DeCloud mechanism
+// (and the non-truthful benchmark where the figure compares them), and
+// prints the series as aligned text columns plus the LOESS trend the paper
+// overlays.  Absolute numbers depend on the synthetic trace; the *shape*
+// is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stats/loess.hpp"
+
+namespace decloud::bench {
+
+/// One (x, y) observation of a series.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Prints a figure header in a stable, grep-friendly format.
+inline void print_header(const std::string& figure, const std::string& title,
+                         const std::string& columns) {
+  std::printf("\n=== %s — %s ===\n", figure.c_str(), title.c_str());
+  std::printf("%s\n", columns.c_str());
+}
+
+/// Prints the LOESS trend of a series (the paper's smoothed overlay).
+inline void print_loess(const std::string& label, const std::vector<Point>& series,
+                        double span = 0.5, std::size_t grid = 10) {
+  if (series.size() < 3) return;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& p : series) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  const auto curve = stats::loess(xs, ys, {.span = span, .grid_points = grid});
+  std::printf("-- LOESS trend (%s):\n", label.c_str());
+  for (const auto& pt : curve) std::printf("   x=%10.4f  y=%10.6f\n", pt.x, pt.y);
+}
+
+}  // namespace decloud::bench

@@ -1,0 +1,46 @@
+// Figure 5a — welfare of DeCloud vs the non-truthful benchmark as the
+// number of requests grows (Google-trace-style demand, EC2 M5 supply).
+#include <cstdio>
+
+#include "auction/mechanism.hpp"
+#include "bench_util.hpp"
+#include "trace/workload.hpp"
+
+namespace {
+
+using namespace decloud;
+
+constexpr std::size_t kRequestCounts[] = {25, 50, 75, 100, 150, 200, 250, 300, 350, 400};
+constexpr std::uint64_t kRoundsPerPoint = 5;
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 5a", "welfare vs number of requests",
+                      "requests    welfare(DeCloud)  welfare(benchmark)");
+
+  const auction::AuctionConfig truthful;
+  auction::AuctionConfig benchmark;
+  benchmark.truthful = false;
+
+  std::vector<bench::Point> decloud_series;
+  std::vector<bench::Point> bench_series;
+  for (const std::size_t n : kRequestCounts) {
+    for (std::uint64_t round = 0; round < kRoundsPerPoint; ++round) {
+      trace::WorkloadConfig wc;
+      wc.num_requests = n;
+      wc.num_offers = n / 2;
+      Rng rng(1000 * n + round);
+      const auto snapshot = trace::make_workload(wc, truthful, rng);
+
+      const auto rt = auction::DeCloudAuction(truthful).run(snapshot, round + 1);
+      const auto rb = auction::DeCloudAuction(benchmark).run(snapshot, round + 1);
+      std::printf("%8zu    %16.4f  %18.4f\n", n, rt.welfare, rb.welfare);
+      decloud_series.push_back({static_cast<double>(n), rt.welfare});
+      bench_series.push_back({static_cast<double>(n), rb.welfare});
+    }
+  }
+  bench::print_loess("DeCloud", decloud_series);
+  bench::print_loess("benchmark", bench_series);
+  return 0;
+}

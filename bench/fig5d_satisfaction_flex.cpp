@@ -1,0 +1,63 @@
+// Figure 5d — client satisfaction (fraction of allocated requests) vs
+// request/offer similarity (1 − KLD), inflexible market vs 80 % flexible.
+// The paper: "80 % flexibility results in stably higher satisfaction".
+#include <cstdio>
+
+#include "auction/mechanism.hpp"
+#include "bench_util.hpp"
+#include "trace/kl_shaper.hpp"
+
+namespace {
+
+using namespace decloud;
+
+constexpr double kLambdas[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+constexpr std::uint64_t kRoundsPerPoint = 3;
+
+/// Evaluation config for the flexibility study: wide best-offer sets so
+/// clusters span the class spectrum (see EXPERIMENTS.md, E4).
+auction::AuctionConfig study_config(double flexibility) {
+  auction::AuctionConfig cfg;
+  cfg.best_offer_ratio = 0.2;
+  cfg.max_best_offers = 32;
+  cfg.flexibility = flexibility;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 5d", "satisfaction vs similarity, inflexible vs 80% flexible",
+                      "similarity   satisfaction(inflexible)   satisfaction(flex=0.8)");
+
+  std::vector<bench::Point> inflexible_series;
+  std::vector<bench::Point> flexible_series;
+  for (const double lambda : kLambdas) {
+    for (std::uint64_t round = 0; round < kRoundsPerPoint; ++round) {
+      trace::KlShaperConfig kc;
+      kc.num_requests = 150;
+      kc.num_offers = 150;
+
+      const auto inflexible = study_config(1.0);
+      Rng r1(100 * round + 7);
+      const auto m1 = trace::make_shaped_market(kc, inflexible, lambda, r1);
+      const double sat1 = auction::DeCloudAuction(inflexible)
+                              .run(m1.snapshot, round + 1)
+                              .satisfaction(m1.snapshot.requests.size());
+
+      const auto flexible = study_config(0.8);
+      Rng r2(100 * round + 7);
+      const auto m2 = trace::make_shaped_market(kc, flexible, lambda, r2);
+      const double sat2 = auction::DeCloudAuction(flexible)
+                              .run(m2.snapshot, round + 1)
+                              .satisfaction(m2.snapshot.requests.size());
+
+      std::printf("%10.4f   %24.4f   %22.4f\n", m1.similarity, sat1, sat2);
+      inflexible_series.push_back({m1.similarity, sat1});
+      flexible_series.push_back({m2.similarity, sat2});
+    }
+  }
+  bench::print_loess("inflexible", inflexible_series);
+  bench::print_loess("flexible 0.8", flexible_series);
+  return 0;
+}

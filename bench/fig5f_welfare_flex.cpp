@@ -1,0 +1,55 @@
+// Figure 5f — welfare vs similarity, inflexible vs flexible matching.
+#include <cstdio>
+
+#include "auction/mechanism.hpp"
+#include "bench_util.hpp"
+#include "trace/kl_shaper.hpp"
+
+namespace {
+
+using namespace decloud;
+
+constexpr double kLambdas[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+constexpr std::uint64_t kRoundsPerPoint = 3;
+
+auction::AuctionConfig study_config(double flexibility) {
+  auction::AuctionConfig cfg;
+  cfg.best_offer_ratio = 0.2;
+  cfg.max_best_offers = 32;
+  cfg.flexibility = flexibility;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 5f", "welfare vs similarity, inflexible vs 80% flexible",
+                      "similarity   welfare(inflexible)   welfare(flex=0.8)");
+
+  std::vector<bench::Point> inflexible_series;
+  std::vector<bench::Point> flexible_series;
+  for (const double lambda : kLambdas) {
+    for (std::uint64_t round = 0; round < kRoundsPerPoint; ++round) {
+      trace::KlShaperConfig kc;
+      kc.num_requests = 150;
+      kc.num_offers = 150;
+
+      const auto inflexible = study_config(1.0);
+      Rng r1(500 * round + 13);
+      const auto m1 = trace::make_shaped_market(kc, inflexible, lambda, r1);
+      const double w1 = auction::DeCloudAuction(inflexible).run(m1.snapshot, round + 1).welfare;
+
+      const auto flexible = study_config(0.8);
+      Rng r2(500 * round + 13);
+      const auto m2 = trace::make_shaped_market(kc, flexible, lambda, r2);
+      const double w2 = auction::DeCloudAuction(flexible).run(m2.snapshot, round + 1).welfare;
+
+      std::printf("%10.4f   %19.4f   %17.4f\n", m1.similarity, w1, w2);
+      inflexible_series.push_back({m1.similarity, w1});
+      flexible_series.push_back({m2.similarity, w2});
+    }
+  }
+  bench::print_loess("inflexible", inflexible_series);
+  bench::print_loess("flexible 0.8", flexible_series);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Microbenchmarks of the auction pipeline (google-benchmark): QoM scoring,
+// cluster formation, and the full mechanism at several market sizes.
+#include <benchmark/benchmark.h>
+
+#include "auction/cluster.hpp"
+#include "auction/mechanism.hpp"
+#include "auction/qom.hpp"
+#include "trace/workload.hpp"
+
+namespace {
+
+using namespace decloud;
+
+auction::MarketSnapshot make_market(std::size_t requests, std::uint64_t seed) {
+  trace::WorkloadConfig wc;
+  wc.num_requests = requests;
+  wc.num_offers = requests / 2;
+  Rng rng(seed);
+  return trace::make_workload(wc, auction::AuctionConfig{}, rng);
+}
+
+void BM_QualityOfMatch(benchmark::State& state) {
+  const auto snapshot = make_market(64, 1);
+  const auction::BlockScale scale(snapshot.requests, snapshot.offers);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& r = snapshot.requests[i % snapshot.requests.size()];
+    const auto& o = snapshot.offers[i % snapshot.offers.size()];
+    benchmark::DoNotOptimize(auction::quality_of_match(r, o, scale));
+    ++i;
+  }
+}
+BENCHMARK(BM_QualityOfMatch);
+
+void BM_BestOffers(benchmark::State& state) {
+  const auto snapshot = make_market(static_cast<std::size_t>(state.range(0)), 2);
+  const auction::BlockScale scale(snapshot.requests, snapshot.offers);
+  const auction::AuctionConfig cfg;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        auction::best_offers(snapshot.requests[i % snapshot.requests.size()], snapshot, scale, cfg));
+    ++i;
+  }
+}
+BENCHMARK(BM_BestOffers)->Arg(64)->Arg(256);
+
+void BM_ClusterFormation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto snapshot = make_market(n, 3);
+  const auction::BlockScale scale(snapshot.requests, snapshot.offers);
+  const auction::AuctionConfig cfg;
+  // Precompute best sets; the benchmark isolates Algorithm 2 itself.
+  std::vector<std::vector<std::size_t>> best(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    best[r] = auction::best_offers(snapshot.requests[r], snapshot, scale, cfg);
+  }
+  for (auto _ : state) {
+    auction::ClusterSet cs;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (!best[r].empty()) cs.update(r, best[r]);
+    }
+    benchmark::DoNotOptimize(cs.size());
+  }
+}
+BENCHMARK(BM_ClusterFormation)->Arg(64)->Arg(256);
+
+void BM_FullMechanism(benchmark::State& state) {
+  const auto snapshot = make_market(static_cast<std::size_t>(state.range(0)), 4);
+  const auction::DeCloudAuction mechanism;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.run(snapshot, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullMechanism)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_BenchmarkMechanism(benchmark::State& state) {
+  const auto snapshot = make_market(static_cast<std::size_t>(state.range(0)), 5);
+  auction::AuctionConfig cfg;
+  cfg.truthful = false;
+  const auction::DeCloudAuction mechanism(cfg);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.run(snapshot, ++seed));
+  }
+}
+BENCHMARK(BM_BenchmarkMechanism)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

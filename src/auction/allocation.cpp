@@ -1,0 +1,88 @@
+#include "auction/allocation.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace decloud::auction {
+
+double resource_fraction(const Request& r, const Offer& o) {
+  const auto span = static_cast<double>(o.window_length());
+  if (span <= 0.0) return 0.0;
+  const double time_share = std::min(1.0, static_cast<double>(r.duration) / span);
+
+  double demand_share_sum = 0.0;
+  std::size_t common = 0;
+  const auto& re = r.resources.entries();
+  const auto& oe = o.resources.entries();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < re.size() && j < oe.size()) {
+    if (re[i].type < oe[j].type) {
+      ++i;
+    } else if (oe[j].type < re[i].type) {
+      ++j;
+    } else {
+      if (oe[j].amount > 0.0) {
+        demand_share_sum += std::min(re[i].amount, oe[j].amount) / oe[j].amount;
+        ++common;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  if (common == 0) return 0.0;
+  return std::clamp(time_share * demand_share_sum / static_cast<double>(common), 0.0, 1.0);
+}
+
+Money match_welfare(const Request& r, const Offer& o) {
+  return r.bid - resource_fraction(r, o) * o.bid;
+}
+
+double RoundResult::satisfaction(std::size_t total_requests) const {
+  if (total_requests == 0) return 0.0;
+  return static_cast<double>(matches.size()) / static_cast<double>(total_requests);
+}
+
+double RoundResult::reduced_trade_ratio() const {
+  if (tentative_trades == 0) return 0.0;
+  return static_cast<double>(reduced_trades) / static_cast<double>(tentative_trades);
+}
+
+CapacityTracker::CapacityTracker(const std::vector<Offer>& offers) {
+  remaining_.reserve(offers.size());
+  for (const auto& o : offers) remaining_.push_back(o.resources);
+}
+
+bool CapacityTracker::can_host(std::size_t offer, const Request& r, double flexibility) const {
+  DECLOUD_EXPECTS(offer < remaining_.size());
+  for (const auto& need : r.resources.entries()) {
+    const double have = remaining_[offer].get(need.type);
+    const double required = r.is_strict(need.type) ? need.amount : flexibility * need.amount;
+    if (have < required) return false;
+  }
+  return true;
+}
+
+ResourceVector CapacityTracker::consume(std::size_t offer, const Request& r) {
+  DECLOUD_EXPECTS(offer < remaining_.size());
+  ResourceVector consumed;
+  for (const auto& need : r.resources.entries()) {
+    const double have = remaining_[offer].get(need.type);
+    const double take = std::min(need.amount, have);
+    if (take > 0.0) {
+      consumed.set(need.type, take);
+      remaining_[offer].set(need.type, have - take);
+    }
+  }
+  return consumed;
+}
+
+void CapacityTracker::release(std::size_t offer, const ResourceVector& consumed) {
+  DECLOUD_EXPECTS(offer < remaining_.size());
+  for (const auto& e : consumed.entries()) {
+    remaining_[offer].set(e.type, remaining_[offer].get(e.type) + e.amount);
+  }
+}
+
+}  // namespace decloud::auction

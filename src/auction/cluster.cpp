@@ -1,0 +1,89 @@
+#include "auction/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace decloud::auction {
+
+bool is_subset(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::vector<std::size_t> intersect_sorted(const std::vector<std::size_t>& a,
+                                          const std::vector<std::size_t>& b) {
+  std::vector<std::size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+void insert_sorted_unique(std::vector<std::size_t>& v, std::size_t value) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it == v.end() || *it != value) v.insert(it, value);
+}
+
+void merge_sorted_unique(std::vector<std::size_t>& dst, const std::vector<std::size_t>& src) {
+  std::vector<std::size_t> merged;
+  merged.reserve(dst.size() + src.size());
+  std::set_union(dst.begin(), dst.end(), src.begin(), src.end(), std::back_inserter(merged));
+  dst = std::move(merged);
+}
+
+std::size_t ClusterSet::find_or_create(const std::vector<std::size_t>& offers, bool& created) {
+  if (const auto it = by_offers_.find(offers); it != by_offers_.end()) {
+    created = false;
+    return it->second;
+  }
+  created = true;
+  const std::size_t idx = clusters_.size();
+  clusters_.push_back({.offers = offers, .requests = {}});
+  by_offers_.emplace(offers, idx);
+  return idx;
+}
+
+void ClusterSet::update(std::size_t request, const std::vector<std::size_t>& best_offers) {
+  DECLOUD_EXPECTS_MSG(!best_offers.empty(), "best-offer set must be non-empty");
+  DECLOUD_EXPECTS(std::is_sorted(best_offers.begin(), best_offers.end()));
+
+  // 1. Ensure a cluster keyed exactly by best_r exists (Alg. 2 first branch).
+  bool created = false;
+  find_or_create(best_offers, created);
+
+  // Snapshot of indices before this update grows the cluster list further;
+  // the intersection pass below must not recurse into clusters it creates.
+  const std::size_t pre_existing = clusters_.size();
+
+  // 2. Subset/superset propagation.  Collect superset requests first so the
+  //    propagation uses the state at entry, as the pseudocode implies.
+  std::vector<std::size_t> superset_requests;
+  for (std::size_t c = 0; c < pre_existing; ++c) {
+    if (clusters_[c].offers.size() > best_offers.size() &&
+        is_subset(best_offers, clusters_[c].offers)) {
+      merge_sorted_unique(superset_requests, clusters_[c].requests);
+    }
+  }
+  for (std::size_t c = 0; c < pre_existing; ++c) {
+    if (is_subset(clusters_[c].offers, best_offers)) {  // includes best_r itself
+      insert_sorted_unique(clusters_[c].requests, request);
+      merge_sorted_unique(clusters_[c].requests, superset_requests);
+    }
+  }
+
+  // 3. Intersection clusters: any pre-existing cluster sharing more than one
+  //    offer with best_r spawns (or feeds) a cluster on the shared offers.
+  for (std::size_t c = 0; c < pre_existing; ++c) {
+    if (clusters_[c].offers == best_offers) continue;
+    auto intersection = intersect_sorted(clusters_[c].offers, best_offers);
+    if (intersection.size() <= 1) continue;
+    bool fresh = false;
+    const std::size_t x = find_or_create(intersection, fresh);
+    if (fresh) {
+      clusters_[x].requests = clusters_[c].requests;
+      insert_sorted_unique(clusters_[x].requests, request);
+    } else {
+      insert_sorted_unique(clusters_[x].requests, request);
+    }
+  }
+}
+
+}  // namespace decloud::auction

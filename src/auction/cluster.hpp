@@ -1,0 +1,55 @@
+// Cluster formation — Algorithm 2 of the paper.
+//
+// A cluster groups a set of offers with the set of requests for which those
+// offers are (near-)best matches under the quality-of-match heuristic.
+// Requests and offers are identified by their indices into the block's
+// MarketSnapshot.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace decloud::auction {
+
+/// One cluster CL: an offer set plus the requests attracted to it.
+/// Both lists are kept sorted and deduplicated.
+struct Cluster {
+  std::vector<std::size_t> offers;    ///< sorted offer indices
+  std::vector<std::size_t> requests;  ///< sorted request indices
+};
+
+/// Mutable collection of clusters keyed by offer set, implementing the
+/// UPDATECLUSTERS procedure (Algorithm 2): subset/superset request
+/// propagation and intersection-cluster creation.
+class ClusterSet {
+ public:
+  /// Folds one request with its best-offer set into the cluster structure.
+  /// `best_offers` must be sorted and non-empty.
+  void update(std::size_t request, const std::vector<std::size_t>& best_offers);
+
+  [[nodiscard]] const std::vector<Cluster>& clusters() const { return clusters_; }
+  [[nodiscard]] std::size_t size() const { return clusters_.size(); }
+
+ private:
+  /// Returns the cluster index for an offer set, creating it when absent.
+  std::size_t find_or_create(const std::vector<std::size_t>& offers, bool& created);
+
+  std::vector<Cluster> clusters_;
+  std::map<std::vector<std::size_t>, std::size_t> by_offers_;
+};
+
+/// True iff sorted range `a` is a subset of sorted range `b`.
+[[nodiscard]] bool is_subset(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b);
+
+/// Sorted intersection of two sorted index vectors.
+[[nodiscard]] std::vector<std::size_t> intersect_sorted(const std::vector<std::size_t>& a,
+                                                        const std::vector<std::size_t>& b);
+
+/// Inserts `value` into a sorted vector if absent.
+void insert_sorted_unique(std::vector<std::size_t>& v, std::size_t value);
+
+/// Merges sorted `src` into sorted `dst` (set union, in place).
+void merge_sorted_unique(std::vector<std::size_t>& dst, const std::vector<std::size_t>& src);
+
+}  // namespace decloud::auction

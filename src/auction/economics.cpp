@@ -1,0 +1,121 @@
+#include "auction/economics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace decloud::auction {
+
+namespace {
+
+/// Euclidean norm of a resource vector restricted to the given sorted types.
+double restricted_norm(const ResourceVector& v, const std::vector<ResourceId>& types) {
+  double sum = 0.0;
+  for (const ResourceId k : types) {
+    const double a = v.get(k);
+    sum += a * a;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+double ClusterEconomics::nu_of_request(std::size_t request) const {
+  for (const auto& re : requests) {
+    if (re.request == request) return re.nu;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+ClusterEconomics compute_economics(const Cluster& cluster, const MarketSnapshot& snapshot) {
+  ClusterEconomics econ;
+
+  // K_CL = (∪_r K_r) ∩ (∪_o K_o)
+  std::vector<ResourceId> req_types;
+  for (const std::size_t r : cluster.requests) {
+    const auto t = snapshot.requests[r].resources.types();
+    req_types = union_types(req_types, t);
+  }
+  std::vector<ResourceId> off_types;
+  for (const std::size_t o : cluster.offers) {
+    const auto t = snapshot.offers[o].resources.types();
+    off_types = union_types(off_types, t);
+  }
+  econ.common_types = intersect_types(req_types, off_types);
+  if (econ.common_types.empty()) return econ;  // degenerate cluster
+
+  // Virtual maximum M_CL: per-type max over the cluster's offers.
+  ResourceVector virtual_max;
+  for (const ResourceId k : econ.common_types) {
+    double m = 0.0;
+    for (const std::size_t o : cluster.offers) m = std::max(m, snapshot.offers[o].resources.get(k));
+    virtual_max.set(k, m);
+  }
+  econ.virtual_max_norm = virtual_max.norm2();
+  if (econ.virtual_max_norm <= 0.0) return econ;
+
+  // Offers: ν_o and ĉ_o.
+  for (const std::size_t o : cluster.offers) {
+    const Offer& offer = snapshot.offers[o];
+    const double nu = restricted_norm(offer.resources, econ.common_types) / econ.virtual_max_norm;
+    if (nu <= 0.0) continue;  // cannot express this offer in the cluster unit
+    const auto span = static_cast<double>(offer.window_length());
+    DECLOUD_ENSURES_MSG(span > 0.0, "offer window length must be positive");
+    econ.offers.push_back({.offer = o, .nu = nu, .chat = offer.bid / (nu * span)});
+  }
+
+  // Critical resources: built-ins plus types demanded by *every* request.
+  std::vector<ResourceId> critical = {ResourceSchema::kCpu, ResourceSchema::kMemory,
+                                      ResourceSchema::kDisk};
+  std::vector<ResourceId> in_all;
+  bool first = true;
+  for (const std::size_t r : cluster.requests) {
+    const auto t = snapshot.requests[r].resources.types();
+    in_all = first ? t : intersect_types(in_all, t);
+    first = false;
+  }
+  critical = union_types(critical, in_all);
+
+  // Requests: ν_r and v̂_r.
+  for (const std::size_t r : cluster.requests) {
+    const Request& request = snapshot.requests[r];
+    double nu_cr = 0.0;
+    for (const ResourceId k : critical) {
+      const double cap = virtual_max.get(k);
+      if (cap > 0.0) nu_cr = std::max(nu_cr, request.resources.get(k) / cap);
+    }
+    const double nu_geom =
+        restricted_norm(request.resources, econ.common_types) / econ.virtual_max_norm;
+    // ν_r ∈ (0, 1]: clamp above at 1 (a request can nominally exceed the
+    // virtual maximum under flexible matching) and guard below so v̂ stays
+    // finite for degenerate all-zero requests.
+    const double nu = std::clamp(std::max(nu_cr, nu_geom), 1e-9, 1.0);
+    const auto d = static_cast<double>(request.duration);
+    DECLOUD_ENSURES_MSG(d > 0.0, "request duration must be positive");
+    econ.requests.push_back({.request = r, .nu = nu, .vhat = request.bid / (nu * d)});
+  }
+
+  // McAfee ordering.  Ties resolve toward earlier submission, then lower
+  // id, making every downstream step deterministic (Section IV-D: earlier
+  // submission must never hurt).
+  std::sort(econ.requests.begin(), econ.requests.end(),
+            [&](const RequestEconomics& a, const RequestEconomics& b) {
+              if (a.vhat != b.vhat) return a.vhat > b.vhat;
+              const Request& ra = snapshot.requests[a.request];
+              const Request& rb = snapshot.requests[b.request];
+              if (ra.submitted != rb.submitted) return ra.submitted < rb.submitted;
+              return ra.id < rb.id;
+            });
+  std::sort(econ.offers.begin(), econ.offers.end(),
+            [&](const OfferEconomics& a, const OfferEconomics& b) {
+              if (a.chat != b.chat) return a.chat < b.chat;
+              const Offer& oa = snapshot.offers[a.offer];
+              const Offer& ob = snapshot.offers[b.offer];
+              if (oa.submitted != ob.submitted) return oa.submitted < ob.submitted;
+              return oa.id < ob.id;
+            });
+  return econ;
+}
+
+}  // namespace decloud::auction

@@ -1,0 +1,66 @@
+// Per-cluster economic normalization — Section IV-C of the paper.
+//
+// Offers and requests within a cluster differ in size and time span, so the
+// McAfee-style ranking needs a common per-unit-resource, per-unit-time
+// scale.  The cluster's *virtual maximum* M_CL (per-resource max over its
+// offers) defines the unit; every bid is expressed as a fraction ν of that
+// unit:
+//
+//   ν_o = ‖ρ_o‖₂ / ‖M_CL‖₂                        ĉ_o = c_o / (ν_o (t_o⁺ − t_o⁻))
+//   ν_r = max(ν_CR, ‖ρ_r‖₂ / ‖M_CL‖₂)             v̂_r = v_r / (ν_r d_r)
+//
+// where ν_CR is the request's worst-case *critical* resource utilization
+// (CPU/memory/disk plus any resource demanded by every request in the
+// cluster): a container pinning 100 % of the CPU must pay 100 % of the
+// clearing price no matter how small its other demands are.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "auction/bid.hpp"
+#include "auction/cluster.hpp"
+#include "common/types.hpp"
+
+namespace decloud::auction {
+
+/// An offer of a cluster with its normalized cost.
+struct OfferEconomics {
+  std::size_t offer = 0;  ///< index into MarketSnapshot::offers
+  double nu = 0.0;        ///< ν_o — fraction of the virtual maximum
+  double chat = 0.0;      ///< ĉ_o — normalized unit cost
+};
+
+/// A request of a cluster with its normalized valuation.
+struct RequestEconomics {
+  std::size_t request = 0;  ///< index into MarketSnapshot::requests
+  double nu = 0.0;          ///< ν_r
+  double vhat = 0.0;        ///< v̂_r — normalized unit valuation
+};
+
+/// The priced view of one cluster: members sorted McAfee-style
+/// (requests by v̂ descending, offers by ĉ ascending; ties broken by
+/// earlier submission then lower id, per Section IV-D).
+struct ClusterEconomics {
+  std::vector<RequestEconomics> requests;
+  std::vector<OfferEconomics> offers;
+  /// ‖M_CL‖₂ of the virtual maximum (0 for a degenerate cluster).
+  double virtual_max_norm = 0.0;
+  /// Types in K_CL (sorted).
+  std::vector<ResourceId> common_types;
+
+  /// Looks up ν_r for a request index; quiet NaN when absent.
+  [[nodiscard]] double nu_of_request(std::size_t request) const;
+};
+
+/// Value used for ĉ_{z'+1} when no next offer exists ("we assume
+/// ĉ_{z'+1} = ∞", Section IV-C).
+inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+/// Computes the normalized economics of a cluster.  Offers that share no
+/// common type with the cluster (ν_o = 0) are dropped — they cannot be
+/// priced in this cluster's unit.
+[[nodiscard]] ClusterEconomics compute_economics(const Cluster& cluster,
+                                                 const MarketSnapshot& snapshot);
+
+}  // namespace decloud::auction

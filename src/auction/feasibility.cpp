@@ -1,0 +1,26 @@
+#include "auction/feasibility.hpp"
+
+#include "common/ensure.hpp"
+
+namespace decloud::auction {
+
+bool window_covers(const Offer& o, const Request& r) {
+  return o.window_start <= r.window_start && o.window_end >= r.window_end;
+}
+
+bool resources_sufficient(const Offer& o, const Request& r, double flexibility) {
+  DECLOUD_EXPECTS(flexibility > 0.0 && flexibility <= 1.0);
+  for (const auto& need : r.resources.entries()) {
+    const double have = o.resources.get(need.type);
+    const double required = r.is_strict(need.type) ? need.amount : flexibility * need.amount;
+    if (have < required) return false;
+  }
+  return true;
+}
+
+bool feasible(const Offer& o, const Request& r, const AuctionConfig& config) {
+  return r.reputation >= o.min_reputation && window_covers(o, r) &&
+         resources_sufficient(o, r, config.flexibility);
+}
+
+}  // namespace decloud::auction

@@ -1,0 +1,22 @@
+// Feasibility filtering — constraints (8), (10), (11) plus the flexibility
+// relaxation of the Fig. 5d–5f experiments.
+#pragma once
+
+#include "auction/bid.hpp"
+#include "auction/config.hpp"
+
+namespace decloud::auction {
+
+/// True iff the offer's availability window covers the request's service
+/// window: t_o^- ≤ t_r^- and t_o^+ ≥ t_r^+ (constraints 10 and 11).
+[[nodiscard]] bool window_covers(const Offer& o, const Request& r);
+
+/// True iff the offer carries enough of every requested resource
+/// (constraint 8).  Strict resources (σ = 1) need the full amount;
+/// non-strict ones need at least flexibility·ρ_(r,k).
+[[nodiscard]] bool resources_sufficient(const Offer& o, const Request& r, double flexibility);
+
+/// Full feasibility check: window + resources.
+[[nodiscard]] bool feasible(const Offer& o, const Request& r, const AuctionConfig& config);
+
+}  // namespace decloud::auction

@@ -1,0 +1,95 @@
+#include "auction/mcafee.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace decloud::auction {
+
+namespace {
+
+void sort_sides(std::vector<UnitBid>& buyers, std::vector<UnitBid>& sellers) {
+  std::sort(buyers.begin(), buyers.end(), [](const UnitBid& a, const UnitBid& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.participant < b.participant;
+  });
+  std::sort(sellers.begin(), sellers.end(), [](const UnitBid& a, const UnitBid& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.participant < b.participant;
+  });
+}
+
+/// Largest k with v_k ≥ c_k (1-based count); 0 when none.
+std::size_t efficient_pairs(const std::vector<UnitBid>& buyers,
+                            const std::vector<UnitBid>& sellers) {
+  const std::size_t n = std::min(buyers.size(), sellers.size());
+  std::size_t k = 0;
+  while (k < n && buyers[k].value >= sellers[k].value) ++k;
+  return k;
+}
+
+}  // namespace
+
+UnitAuctionResult mcafee_auction(std::vector<UnitBid> buyers, std::vector<UnitBid> sellers) {
+  UnitAuctionResult result;
+  sort_sides(buyers, sellers);
+  const std::size_t z = efficient_pairs(buyers, sellers);
+  if (z == 0) return result;
+  result.break_even = z - 1;
+
+  // Candidate single price from the first excluded pair.
+  const bool have_next = z < buyers.size() && z < sellers.size();
+  if (have_next) {
+    const Money p = (buyers[z].value + sellers[z].value) / 2.0;
+    if (p >= sellers[z - 1].value && p <= buyers[z - 1].value) {
+      // All z pairs trade at p — strongly budget balanced case (Fig. 3a).
+      for (std::size_t i = 0; i < z; ++i) {
+        result.trades.emplace_back(buyers[i].participant, sellers[i].participant);
+      }
+      result.buyer_price = result.seller_price = p;
+      return result;
+    }
+  }
+
+  // Trade reduction (Fig. 3b): pair z − 1 is excluded; buyers pay v_z,
+  // sellers receive c_z (of the excluded pair), auctioneer keeps the gap.
+  for (std::size_t i = 0; i + 1 < z; ++i) {
+    result.trades.emplace_back(buyers[i].participant, sellers[i].participant);
+  }
+  result.reduced_trades = 1;
+  result.buyer_price = buyers[z - 1].value;
+  result.seller_price = sellers[z - 1].value;
+  return result;
+}
+
+UnitAuctionResult sbba_auction(std::vector<UnitBid> buyers, std::vector<UnitBid> sellers) {
+  UnitAuctionResult result;
+  sort_sides(buyers, sellers);
+  const std::size_t z = efficient_pairs(buyers, sellers);
+  if (z == 0) return result;
+  result.break_even = z - 1;
+
+  const Money v_z = buyers[z - 1].value;
+  const Money c_next =
+      z < sellers.size() ? sellers[z].value : std::numeric_limits<Money>::infinity();
+  const Money p = std::min(v_z, c_next);
+  result.buyer_price = result.seller_price = p;
+
+  if (p == c_next && c_next <= v_z) {
+    // Price set by the unallocated seller z+1: all z pairs trade, nothing
+    // is lost (Fig. 4b of the paper).
+    for (std::size_t i = 0; i < z; ++i) {
+      result.trades.emplace_back(buyers[i].participant, sellers[i].participant);
+    }
+    return result;
+  }
+
+  // Price set by buyer z: exclude that buyer; the first z − 1 buyers trade
+  // with the cheapest z − 1 sellers (Fig. 4a).
+  for (std::size_t i = 0; i + 1 < z; ++i) {
+    result.trades.emplace_back(buyers[i].participant, sellers[i].participant);
+  }
+  result.reduced_trades = 1;
+  return result;
+}
+
+}  // namespace decloud::auction

@@ -1,0 +1,55 @@
+// The DeCloud double auction A — Algorithm 1 of the paper, end to end:
+//
+//   1. per-request best-offer ranking under the QoM heuristic (Eq. 18);
+//   2. cluster formation (Algorithm 2);
+//   3. per-cluster normalization and greedy tentative allocation with
+//      break-even determination (Section IV-C);
+//   4. mini-auction formation (Algorithm 3);
+//   5. per-auction clearing price, trade reduction and verifiable
+//      randomization (Algorithm 4, Eq. 19–20).
+//
+// The mechanism is deterministic given (snapshot, seed): the seed is the
+// block evidence (e.g. the block hash), so every miner re-derives the exact
+// same allocation when verifying a block (Section III-B).
+//
+// With config.truthful = false the same pipeline stops after step 3 and
+// finalizes every tentative match — the paper's non-truthful greedy
+// benchmark that upper-bounds welfare in Fig. 5a/5b.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "auction/allocation.hpp"
+#include "auction/config.hpp"
+#include "auction/qom.hpp"
+
+namespace decloud::auction {
+
+/// Ranks the feasible offers for a request and returns the best-offer set
+/// best_r: sorted offer indices whose QoM is within config.best_offer_ratio
+/// of the top match, capped at config.max_best_offers.  Empty when nothing
+/// is feasible or no offer shares a resource type.
+[[nodiscard]] std::vector<std::size_t> best_offers(const Request& r,
+                                                   const MarketSnapshot& snapshot,
+                                                   const BlockScale& scale,
+                                                   const AuctionConfig& config);
+
+/// The auction mechanism.  Stateless apart from configuration; safe to
+/// share across threads for concurrent independent rounds.
+class DeCloudAuction {
+ public:
+  explicit DeCloudAuction(AuctionConfig config = {}) : config_(config) {}
+
+  /// Runs one allocation round over a block's requests and offers.
+  /// `seed` is the verifiable-randomization evidence (block hash).
+  /// Validates every bid; throws precondition_error on malformed input.
+  [[nodiscard]] RoundResult run(const MarketSnapshot& snapshot, std::uint64_t seed) const;
+
+  [[nodiscard]] const AuctionConfig& config() const { return config_; }
+
+ private:
+  AuctionConfig config_;
+};
+
+}  // namespace decloud::auction

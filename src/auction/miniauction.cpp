@@ -1,0 +1,148 @@
+#include "auction/miniauction.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace decloud::auction {
+
+namespace {
+
+/// Node of the cluster forest.
+struct TreeNode {
+  std::size_t cluster;  // index into priced
+  std::size_t parent;   // index into nodes, or npos for roots
+  std::vector<std::size_t> children;
+  static constexpr std::size_t npos = SIZE_MAX;
+};
+
+}  // namespace
+
+std::vector<std::size_t> select_roots(const std::vector<PricedCluster>& priced) {
+  // Collect tradeable clusters as intervals [lo, hi] with positive weight.
+  struct Interval {
+    std::size_t cluster;
+    double lo;
+    double hi;
+    double weight;
+  };
+  std::vector<Interval> ivals;
+  for (std::size_t i = 0; i < priced.size(); ++i) {
+    if (!priced[i].tradeable()) continue;
+    // ε keeps zero-welfare clusters selectable: maximality matters more
+    // than their marginal weight.
+    ivals.push_back({i, priced[i].range_lo(), priced[i].range_hi(),
+                     std::max(priced[i].welfare, 0.0) + 1e-9});
+  }
+  if (ivals.empty()) return {};
+
+  std::sort(ivals.begin(), ivals.end(), [](const Interval& a, const Interval& b) {
+    if (a.hi != b.hi) return a.hi < b.hi;
+    return a.cluster < b.cluster;
+  });
+
+  // Weighted interval scheduling.  Two intervals conflict when they
+  // strictly overlap (which is exactly price compatibility), so p(i) is the
+  // last j with hi_j ≤ lo_i.
+  const std::size_t n = ivals.size();
+  std::vector<std::size_t> prev(n, SIZE_MAX);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j-- > 0;) {
+      if (ivals[j].hi <= ivals[i].lo) {
+        prev[i] = j;
+        break;
+      }
+    }
+  }
+  std::vector<double> best(n + 1, 0.0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double take =
+        ivals[i - 1].weight + (prev[i - 1] == SIZE_MAX ? 0.0 : best[prev[i - 1] + 1]);
+    best[i] = std::max(best[i - 1], take);
+  }
+
+  std::vector<std::size_t> roots;
+  for (std::size_t i = n; i > 0;) {
+    const double take =
+        ivals[i - 1].weight + (prev[i - 1] == SIZE_MAX ? 0.0 : best[prev[i - 1] + 1]);
+    if (take >= best[i - 1]) {
+      roots.push_back(ivals[i - 1].cluster);
+      i = (prev[i - 1] == SIZE_MAX) ? 0 : prev[i - 1] + 1;
+    } else {
+      --i;
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  return roots;
+}
+
+std::vector<MiniAuction> create_mini_auctions(const std::vector<PricedCluster>& priced) {
+  const std::vector<std::size_t> roots = select_roots(priced);
+  if (roots.empty()) return {};
+
+  std::vector<TreeNode> nodes;
+  std::vector<std::size_t> root_nodes;
+  std::vector<char> placed(priced.size(), 0);
+  for (const std::size_t r : roots) {
+    root_nodes.push_back(nodes.size());
+    nodes.push_back({.cluster = r, .parent = TreeNode::npos, .children = {}});
+    placed[r] = 1;
+  }
+
+  // Attach the remaining tradeable clusters, highest welfare first so the
+  // most valuable clusters sit closest to the roots (shortest exposure to
+  // upstream exclusions).
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < priced.size(); ++i) {
+    if (priced[i].tradeable() && !placed[i]) rest.push_back(i);
+  }
+  std::sort(rest.begin(), rest.end(), [&](std::size_t a, std::size_t b) {
+    if (priced[a].welfare != priced[b].welfare) return priced[a].welfare > priced[b].welfare;
+    return a < b;
+  });
+
+  for (const std::size_t c : rest) {
+    // Deepest node whose entire path is price-compatible with c; the root
+    // itself qualifies whenever the ranges overlap (guaranteed for at least
+    // one root by the optimality of the DP selection).
+    std::size_t attach = TreeNode::npos;
+    for (const std::size_t root : root_nodes) {
+      if (!price_compatible(priced[c], priced[nodes[root].cluster])) continue;
+      // Iterative deepening along compatible children.
+      std::size_t cur = root;
+      for (;;) {
+        std::size_t next = TreeNode::npos;
+        for (const std::size_t child : nodes[cur].children) {
+          if (price_compatible(priced[c], priced[nodes[child].cluster])) {
+            next = child;
+            break;
+          }
+        }
+        if (next == TreeNode::npos) break;
+        cur = next;
+      }
+      attach = cur;
+      break;  // attach to the first compatible root's tree only
+    }
+    if (attach == TreeNode::npos) continue;  // cannot happen for DP-optimal roots
+    nodes.push_back({.cluster = c, .parent = attach, .children = {}});
+    nodes[attach].children.push_back(nodes.size() - 1);
+    placed[c] = 1;
+  }
+
+  // Yield one mini-auction per leaf: the path leaf → root.
+  std::vector<MiniAuction> auctions;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i].children.empty()) continue;  // not a leaf
+    MiniAuction a;
+    for (std::size_t cur = i; cur != TreeNode::npos; cur = nodes[cur].parent) {
+      a.clusters.push_back(nodes[cur].cluster);
+      a.welfare += priced[nodes[cur].cluster].welfare;
+    }
+    auctions.push_back(std::move(a));
+  }
+  DECLOUD_ENSURES(!auctions.empty());
+  return auctions;
+}
+
+}  // namespace decloud::auction

@@ -1,0 +1,39 @@
+// Mini-auction formation — Algorithm 3 of the paper.
+//
+// Trade reduction loses one participant per auction, so running one big
+// auction per cluster wastes welfare.  Price-compatible clusters are
+// grouped into *mini-auctions* that share a single clearing price: root
+// clusters with minimal non-overlapping price ranges are picked by
+// weighted-interval-scheduling dynamic programming, remaining clusters
+// attach to compatible tree nodes, and every leaf→root path becomes a
+// mini-auction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "auction/pricing.hpp"
+#include "common/types.hpp"
+
+namespace decloud::auction {
+
+/// A group of price-compatible clusters trading at one price.  Indices
+/// refer to the round's PricedCluster vector; ordered leaf → root.
+struct MiniAuction {
+  std::vector<std::size_t> clusters;
+  Money welfare = 0.0;
+};
+
+/// Selects the root clusters: the maximum-total-welfare subset of tradeable
+/// clusters with pairwise NON-overlapping price ranges (the weighted
+/// interval scheduling problem the paper solves "by dynamic programming in
+/// polynomial time").  Returns indices into `priced`, sorted by range.
+[[nodiscard]] std::vector<std::size_t> select_roots(const std::vector<PricedCluster>& priced);
+
+/// Builds the forest and yields one mini-auction per leaf path.  Clusters
+/// that never produced a tentative trade are ignored.  Every tradeable
+/// cluster lands in at least one mini-auction.
+[[nodiscard]] std::vector<MiniAuction> create_mini_auctions(
+    const std::vector<PricedCluster>& priced);
+
+}  // namespace decloud::auction

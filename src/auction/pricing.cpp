@@ -1,0 +1,113 @@
+#include "auction/pricing.hpp"
+
+#include <algorithm>
+
+#include "auction/feasibility.hpp"
+#include "common/ensure.hpp"
+
+namespace decloud::auction {
+
+bool price_compatible(const PricedCluster& a, const PricedCluster& b) {
+  return a.range_hi() > b.range_lo() && b.range_hi() > a.range_lo();
+}
+
+namespace {
+
+/// A tentative match annotated with the economics needed for the
+/// break-even bookkeeping.
+struct RankedMatch {
+  TentativeMatch match;
+  double vhat = 0.0;
+  std::size_t offer_rank = 0;  // rank of the offer in ascending-ĉ order
+};
+
+}  // namespace
+
+PricedCluster price_cluster(std::size_t cluster_index, ClusterEconomics econ,
+                            const MarketSnapshot& snapshot, CapacityTracker& capacity,
+                            std::vector<char>& request_taken, const AuctionConfig& config) {
+  PricedCluster pc;
+  pc.cluster_index = cluster_index;
+  pc.econ = std::move(econ);
+
+  // --- Greedy pass: each request (descending v̂) takes the cheapest offer
+  // that clears it and can host it.
+  std::vector<RankedMatch> matches;
+  for (const auto& re : pc.econ.requests) {
+    if (request_taken[re.request]) continue;
+    const Request& r = snapshot.requests[re.request];
+    for (std::size_t rank = 0; rank < pc.econ.offers.size(); ++rank) {
+      const auto& oe = pc.econ.offers[rank];
+      if (oe.chat >= re.vhat) break;  // ascending ĉ: nothing further can clear
+      const Offer& o = snapshot.offers[oe.offer];
+      if (!feasible(o, r, config)) continue;
+      if (!capacity.can_host(oe.offer, r, config.flexibility)) continue;
+      if (match_welfare(r, o) < 0.0) continue;  // constraint (9)
+
+      RankedMatch rm;
+      rm.match.request = re.request;
+      rm.match.offer = oe.offer;
+      rm.match.consumed = capacity.consume(oe.offer, r);
+      rm.vhat = re.vhat;
+      rm.offer_rank = rank;
+      matches.push_back(std::move(rm));
+      request_taken[re.request] = 1;
+      break;
+    }
+  }
+
+  // --- Enforce the Fig.-4 assortative invariant v̂_z > ĉ_z'.  Feasibility
+  // gaps can force a high-valuation request onto an expensive offer, which
+  // would invert the cluster's price range; such matches cannot be priced
+  // with a single clearing price, so we peel off the costliest ones until
+  // every used offer is cheaper than every matched request's valuation.
+  auto vhat_z_of = [&]() {
+    double v = kInfiniteCost;
+    for (const auto& m : matches) v = std::min(v, m.vhat);
+    return v;
+  };
+  while (!matches.empty()) {
+    const double vz = vhat_z_of();
+    auto worst = std::max_element(matches.begin(), matches.end(),
+                                  [](const RankedMatch& a, const RankedMatch& b) {
+                                    return a.offer_rank < b.offer_rank;
+                                  });
+    const double worst_chat = pc.econ.offers[worst->offer_rank].chat;
+    if (vz > worst_chat) break;
+    capacity.release(worst->match.offer, worst->match.consumed);
+    request_taken[worst->match.request] = 0;
+    matches.erase(worst);
+  }
+
+  // --- Break-even bookkeeping.
+  if (!matches.empty()) {
+    std::size_t zprime_rank = 0;
+    double vhat_z = kInfiniteCost;
+    const RankedMatch* z_match = nullptr;
+    for (const auto& m : matches) {
+      zprime_rank = std::max(zprime_rank, m.offer_rank);
+      if (m.vhat < vhat_z) {
+        vhat_z = m.vhat;
+        z_match = &m;
+      }
+    }
+    pc.vhat_z = vhat_z;
+    pc.z_client = snapshot.requests[z_match->match.request].client;
+    pc.chat_zprime = pc.econ.offers[zprime_rank].chat;
+    if (zprime_rank + 1 < pc.econ.offers.size()) {
+      const auto& next = pc.econ.offers[zprime_rank + 1];
+      pc.chat_znext = next.chat;
+      pc.znext_provider = snapshot.offers[next.offer].provider;
+    }
+    for (auto& m : matches) {
+      pc.welfare +=
+          match_welfare(snapshot.requests[m.match.request], snapshot.offers[m.match.offer]);
+      pc.tentative.push_back(std::move(m.match));
+    }
+    DECLOUD_ENSURES_MSG(pc.range_hi() > pc.range_lo(),
+                        "cluster price range must be well-formed after peeling");
+  }
+  return pc;
+}
+
+}  // namespace decloud::auction

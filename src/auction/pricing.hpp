@@ -1,0 +1,72 @@
+// Greedy tentative allocation within a cluster and determination of the
+// break-even quantities v̂_z, ĉ_z', ĉ_{z'+1} (Section IV-C, Algorithm 1:
+// "allocate r, o ∈ cluster greedily; determine v̂_z, ĉ_{z'+1}").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "auction/allocation.hpp"
+#include "auction/config.hpp"
+#include "auction/economics.hpp"
+
+namespace decloud::auction {
+
+/// One greedily formed (not yet priced) match.
+struct TentativeMatch {
+  std::size_t request = 0;
+  std::size_t offer = 0;
+  /// Exact capacity taken from the offer, for undo during trade reduction.
+  ResourceVector consumed;
+};
+
+/// A cluster with its tentative allocation and break-even prices — the unit
+/// the mini-auction builder and trade reduction operate on.
+struct PricedCluster {
+  std::size_t cluster_index = 0;  ///< index into the round's cluster list
+  ClusterEconomics econ;
+  std::vector<TentativeMatch> tentative;
+
+  /// v̂_z — normalized valuation of the *last* (cheapest) matched request.
+  double vhat_z = 0.0;
+  /// ĉ_z' — normalized cost of the most expensive offer actually used.
+  double chat_zprime = 0.0;
+  /// ĉ_{z'+1} — cost of the next offer after z' in ascending order, or
+  /// kInfiniteCost when the cluster's offers are exhausted.
+  double chat_znext = kInfiniteCost;
+  /// Provider that submitted offer z'+1 (meaningful iff chat_znext finite).
+  ProviderId znext_provider;
+  /// Client that submitted request z.
+  ClientId z_client;
+
+  /// Σ match welfare over the tentative allocation.
+  Money welfare = 0.0;
+
+  /// True when the cluster produced at least one tentative trade and can
+  /// participate in a mini-auction.
+  [[nodiscard]] bool tradeable() const { return !tentative.empty(); }
+
+  /// Price-compatibility range [ĉ_z', v̂_z] of the cluster.
+  [[nodiscard]] double range_lo() const { return chat_zprime; }
+  [[nodiscard]] double range_hi() const { return vhat_z; }
+};
+
+/// Price compatibility between clusters a and b (Section IV-C): the
+/// marginal buyer of each side clears the marginal seller of the other —
+/// v̂_{z,a} > ĉ_{z',b} and v̂_{z,b} > ĉ_{z',a} — i.e. the price ranges
+/// strictly overlap.
+[[nodiscard]] bool price_compatible(const PricedCluster& a, const PricedCluster& b);
+
+/// Runs the greedy allocation for one cluster: requests in descending v̂
+/// order each take the cheapest feasible offer with remaining capacity,
+/// subject to ĉ_o < v̂_r, constraint (9) (v_r ≥ φ c_o), and global offer
+/// capacity.  `request_taken` marks requests already tentatively matched in
+/// previously priced clusters and is updated in place (constraint 5).
+[[nodiscard]] PricedCluster price_cluster(std::size_t cluster_index, ClusterEconomics econ,
+                                          const MarketSnapshot& snapshot,
+                                          CapacityTracker& capacity,
+                                          std::vector<char>& request_taken,
+                                          const AuctionConfig& config);
+
+}  // namespace decloud::auction

@@ -1,0 +1,77 @@
+#include "auction/qom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decloud::auction {
+
+namespace {
+
+void fold_max(std::vector<double>& maxes, const ResourceVector& v) {
+  for (const auto& e : v.entries()) {
+    if (e.type >= maxes.size()) maxes.resize(e.type + 1, 0.0);
+    maxes[e.type] = std::max(maxes[e.type], e.amount);
+  }
+}
+
+}  // namespace
+
+BlockScale::BlockScale(const std::vector<Request>& requests, const std::vector<Offer>& offers) {
+  for (const auto& r : requests) fold_max(max_, r.resources);
+  for (const auto& o : offers) fold_max(max_, o.resources);
+}
+
+double BlockScale::max_of(ResourceId type) const {
+  return type < max_.size() ? max_[type] : 0.0;
+}
+
+double BlockScale::normalized(ResourceId type, double amount) const {
+  const double m = max_of(type);
+  return m > 0.0 ? amount / m : 0.0;
+}
+
+double quality_of_match(const Request& r, const Offer& o, const BlockScale& scale) {
+  double q = 0.0;
+  // Walk the two sorted entry lists in lockstep to find K_r ∩ K_o.
+  const auto& re = r.resources.entries();
+  const auto& oe = o.resources.entries();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < re.size() && j < oe.size()) {
+    if (re[i].type < oe[j].type) {
+      ++i;
+    } else if (oe[j].type < re[i].type) {
+      ++j;
+    } else {
+      const ResourceId k = re[i].type;
+      const double rp = scale.normalized(k, re[i].amount);
+      const double op = scale.normalized(k, oe[j].amount);
+      const double d = op - rp;
+      q += r.significance_of(k) * op / (d * d + 1.0);
+      ++i;
+      ++j;
+    }
+  }
+  return q;
+}
+
+void augment_with_proximity(MarketSnapshot& snapshot, ResourceSchema& schema, Location origin,
+                            double significance) {
+  const ResourceId prox = schema.intern("proximity");
+  const auto proximity = [origin](const Location& l) {
+    const double dx = l.x - origin.x;
+    const double dy = l.y - origin.y;
+    return 1.0 / (1.0 + std::sqrt(dx * dx + dy * dy));
+  };
+  for (auto& r : snapshot.requests) {
+    if (r.location) {
+      r.resources.set(prox, proximity(*r.location));
+      r.significance.set(prox, significance);
+    }
+  }
+  for (auto& o : snapshot.offers) {
+    if (o.location) o.resources.set(prox, proximity(*o.location));
+  }
+}
+
+}  // namespace decloud::auction

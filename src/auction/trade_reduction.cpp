@@ -1,0 +1,32 @@
+#include "auction/trade_reduction.hpp"
+
+namespace decloud::auction {
+
+PriceQuote determine_price(const MiniAuction& auction, const std::vector<PricedCluster>& priced,
+                           const std::vector<char>& cluster_done) {
+  PriceQuote quote;
+  for (const std::size_t ci : auction.clusters) {
+    if (cluster_done[ci]) continue;
+    const PricedCluster& pc = priced[ci];
+    if (!pc.tradeable()) continue;
+    quote.valid = true;
+
+    // Offer side first: on exact ties we prefer excluding the unallocated
+    // offer z'+1, which is free, over excluding the allocated request z.
+    if (pc.chat_znext <= quote.price) {
+      quote.price = pc.chat_znext;
+      quote.setter_is_request = false;
+      quote.setter_cluster = ci;
+      quote.provider = pc.znext_provider;
+    }
+    if (pc.vhat_z < quote.price) {
+      quote.price = pc.vhat_z;
+      quote.setter_is_request = true;
+      quote.setter_cluster = ci;
+      quote.client = pc.z_client;
+    }
+  }
+  return quote;
+}
+
+}  // namespace decloud::auction

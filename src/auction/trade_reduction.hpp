@@ -1,0 +1,47 @@
+// Clearing-price determination for a mini-auction — the first half of
+// Algorithm 4 (the application of the price, exclusion and verifiable
+// randomization lives in mechanism.cpp where the global allocation state
+// is available).
+//
+// Following Segal-Halevi et al.'s strongly-budget-balanced variant of
+// McAfee (Eq. 20):  p = min(v̂_z, ĉ_{z'+1}) over all clusters of the
+// auction.  The participant whose bid sets the price is excluded from
+// trade — together with every other bid of the same client/provider in the
+// same mini-auction — so the price never depends on an allocated bid.
+#pragma once
+
+#include <vector>
+
+#include "auction/miniauction.hpp"
+#include "auction/pricing.hpp"
+
+namespace decloud::auction {
+
+/// The clearing price and the identity of the price-setting participant.
+struct PriceQuote {
+  double price = kInfiniteCost;
+  /// True when v̂_z of some cluster set the price (a *request* is the
+  /// setter → the client's bids are excluded and one trade is lost);
+  /// false when ĉ_{z'+1} set it (the setter offer was unallocated, so no
+  /// allocated trade is lost — the lucky SBBA case).
+  bool setter_is_request = false;
+  /// Cluster (index into the round's PricedCluster vector) providing the
+  /// price-setting bid.
+  std::size_t setter_cluster = 0;
+  /// The excluded client (when setter_is_request)…
+  ClientId client;
+  /// …or the excluded provider (when !setter_is_request).
+  ProviderId provider;
+  /// False when the auction contains no tradeable cluster.
+  bool valid = false;
+};
+
+/// Computes p = min over the auction's clusters of min(v̂_z, ĉ_{z'+1}).
+/// Ties prefer the offer side (excluding an unallocated offer costs no
+/// welfare).  Clusters already fully processed in an earlier mini-auction
+/// are passed in `cluster_done` and skipped.
+[[nodiscard]] PriceQuote determine_price(const MiniAuction& auction,
+                                         const std::vector<PricedCluster>& priced,
+                                         const std::vector<char>& cluster_done);
+
+}  // namespace decloud::auction

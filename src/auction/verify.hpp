@@ -1,0 +1,44 @@
+// Allocation verification — the checks every miner runs before accepting a
+// block body (Section III-B: "They also verify the accuracy of the
+// allocation algorithm execution").
+//
+// Two layers:
+//   * verify_invariants — structural/economic soundness of any RoundResult
+//     against its snapshot: constraints (5), (7), (8), (10), (11),
+//     individual rationality and strong budget balance;
+//   * verify_replay — bit-exact re-execution of the mechanism from the
+//     block evidence and comparison with the claimed result (possible
+//     because the whole pipeline is deterministic).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "auction/allocation.hpp"
+#include "auction/config.hpp"
+
+namespace decloud::auction {
+
+/// Outcome of a verification pass.  `ok()` is true when no violation was
+/// found; otherwise `violations` lists human-readable findings.
+struct VerificationReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Checks the structural and economic invariants of a result.
+/// `check_payments` disables the IR/BB checks for benchmark-mode results
+/// (which carry no payments).
+[[nodiscard]] VerificationReport verify_invariants(const MarketSnapshot& snapshot,
+                                                   const RoundResult& result,
+                                                   const AuctionConfig& config,
+                                                   bool check_payments = true);
+
+/// Re-runs the mechanism with (config, seed) and checks the claimed result
+/// matches the replay exactly (same matches, same payments).
+[[nodiscard]] VerificationReport verify_replay(const MarketSnapshot& snapshot,
+                                               const RoundResult& claimed,
+                                               const AuctionConfig& config, std::uint64_t seed);
+
+}  // namespace decloud::auction

@@ -1,0 +1,68 @@
+#include "common/byte_buffer.hpp"
+
+#include <bit>
+
+#include "common/ensure.hpp"
+
+namespace decloud {
+
+void ByteWriter::write_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::write_double(double v) { write_u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::write_bytes(std::span<const std::uint8_t> bytes) {
+  DECLOUD_EXPECTS(bytes.size() <= UINT32_MAX);
+  write_u32(static_cast<std::uint32_t>(bytes.size()));
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::write_string(std::string_view s) {
+  write_bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+void ByteReader::require(std::size_t n) {
+  DECLOUD_EXPECTS_MSG(remaining() >= n, "truncated message");
+}
+
+std::uint8_t ByteReader::read_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::read_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::read_u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+double ByteReader::read_double() { return std::bit_cast<double>(read_u64()); }
+
+std::vector<std::uint8_t> ByteReader::read_bytes() {
+  const std::uint32_t n = read_u32();
+  require(n);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::read_string() {
+  const auto bytes = read_bytes();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace decloud

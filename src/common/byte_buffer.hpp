@@ -1,0 +1,62 @@
+// Canonical binary serialization.
+//
+// Bids, blocks, and allocation suggestions must hash and sign identically on
+// every node, so all wire encoding goes through this single little-endian,
+// length-prefixed format.  Doubles are encoded via their IEEE-754 bit
+// pattern, which is exact and portable on every platform we target.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decloud {
+
+/// Append-only encoder producing the canonical byte representation.
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v) { buf_.push_back(v); }
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+  void write_double(double v);
+  /// Length-prefixed (u32) raw bytes.
+  void write_bytes(std::span<const std::uint8_t> bytes);
+  /// Length-prefixed (u32) UTF-8 string.
+  void write_string(std::string_view s);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Decoder over a byte span.  Throws precondition_error on truncated input,
+/// so a malformed message from a byzantine peer cannot cause UB.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64() { return static_cast<std::int64_t>(read_u64()); }
+  double read_double();
+  std::vector<std::uint8_t> read_bytes();
+  std::string read_string();
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void require(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace decloud

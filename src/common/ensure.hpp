@@ -1,0 +1,61 @@
+// Precondition / invariant checking helpers.
+//
+// Following the C++ Core Guidelines (I.6, E.12), we express preconditions
+// explicitly and fail loudly.  Violations throw, so callers can test error
+// paths; they are never compiled out because the library is used in
+// verification contexts (miners re-checking each other's allocations) where
+// silent corruption would be worse than the branch cost.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace decloud {
+
+/// Thrown when a documented precondition of a public API is violated.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant fails (a bug in this library).
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const std::string& msg,
+                                            const std::source_location& loc) {
+  throw precondition_error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+                           ": precondition failed: " + expr + (msg.empty() ? "" : " — " + msg));
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const std::string& msg,
+                                         const std::source_location& loc) {
+  throw invariant_error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+                        ": invariant failed: " + expr + (msg.empty() ? "" : " — " + msg));
+}
+
+}  // namespace detail
+
+/// Checks a caller-facing precondition; throws precondition_error on failure.
+inline void expects(bool cond, const char* expr, const std::string& msg = {},
+                    const std::source_location& loc = std::source_location::current()) {
+  if (!cond) detail::throw_precondition(expr, msg, loc);
+}
+
+/// Checks an internal invariant; throws invariant_error on failure.
+inline void ensures(bool cond, const char* expr, const std::string& msg = {},
+                    const std::source_location& loc = std::source_location::current()) {
+  if (!cond) detail::throw_invariant(expr, msg, loc);
+}
+
+}  // namespace decloud
+
+#define DECLOUD_EXPECTS(cond) ::decloud::expects((cond), #cond)
+#define DECLOUD_EXPECTS_MSG(cond, msg) ::decloud::expects((cond), #cond, (msg))
+#define DECLOUD_ENSURES(cond) ::decloud::ensures((cond), #cond)
+#define DECLOUD_ENSURES_MSG(cond, msg) ::decloud::ensures((cond), #cond, (msg))

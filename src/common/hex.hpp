@@ -1,0 +1,19 @@
+// Hex encoding/decoding for digests, keys and block ids in logs and tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decloud {
+
+/// Lower-case hex encoding of arbitrary bytes.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Decodes a hex string (case-insensitive).  Throws precondition_error on
+/// odd length or non-hex characters.
+[[nodiscard]] std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+}  // namespace decloud

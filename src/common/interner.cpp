@@ -1,0 +1,25 @@
+#include "common/interner.hpp"
+
+#include "common/ensure.hpp"
+
+namespace decloud {
+
+std::uint32_t Interner::intern(std::string_view name) {
+  if (const auto it = index_.find(std::string(name)); it != index_.end()) return it->second;
+  const auto idx = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), idx);
+  return idx;
+}
+
+std::uint32_t Interner::find(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? npos : it->second;
+}
+
+const std::string& Interner::name(std::uint32_t index) const {
+  DECLOUD_EXPECTS(index < names_.size());
+  return names_[index];
+}
+
+}  // namespace decloud

@@ -1,0 +1,39 @@
+// String interner backing the open-ended resource-type space.
+//
+// The paper's bidding language treats any property — CPU, RAM, disk,
+// latency, reputation, SGX presence — as a resource type k ∈ K.  The set is
+// open-ended, so types are interned strings: cheap integer handles with a
+// registry for names.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace decloud {
+
+/// Bidirectional string ↔ dense-index mapping.  Indices are stable for the
+/// lifetime of the interner and start at 0.
+class Interner {
+ public:
+  /// Returns the index for `name`, interning it on first sight.
+  std::uint32_t intern(std::string_view name);
+
+  /// Returns the index for `name` if already interned, or npos.
+  [[nodiscard]] std::uint32_t find(std::string_view name) const;
+
+  /// Name for a previously returned index.  Precondition: index < size().
+  [[nodiscard]] const std::string& name(std::uint32_t index) const;
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  static constexpr std::uint32_t npos = UINT32_MAX;
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace decloud

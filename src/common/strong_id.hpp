@@ -1,0 +1,45 @@
+// Strong integer-id wrapper.
+//
+// The market juggles many id spaces (clients, providers, requests, offers,
+// network nodes, blocks).  Mixing them up is an easy silent bug, so each id
+// space gets its own incompatible type (Core Guidelines I.4: make interfaces
+// precisely and strongly typed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace decloud {
+
+/// A strongly typed 64-bit identifier.  `Tag` is an empty struct that makes
+/// each instantiation a distinct type; ids from different spaces do not
+/// compare or convert.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint64_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) { return os << id.value_; }
+
+ private:
+  underlying_type value_ = 0;
+};
+
+}  // namespace decloud
+
+// std::hash support so strong ids can key unordered containers.
+template <typename Tag>
+struct std::hash<decloud::StrongId<Tag>> {
+  std::size_t operator()(decloud::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};

@@ -1,0 +1,68 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+
+namespace decloud::crypto {
+
+namespace {
+
+constexpr void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                             std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(const SymmetricKey& key, const Nonce& nonce,
+                                            std::uint32_t counter) {
+  // "expand 32-byte k"
+  std::array<std::uint32_t, 16> state = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574};
+  for (std::size_t i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (std::size_t i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  std::array<std::uint32_t, 16> w = state;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+
+  std::array<std::uint8_t, 64> out{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint32_t v = w[i] + state[i];
+    out[4 * i + 0] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> chacha20_xor(const SymmetricKey& key, const Nonce& nonce,
+                                       std::span<const std::uint8_t> data,
+                                       std::uint32_t initial_counter) {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  std::uint32_t counter = initial_counter;
+  for (std::size_t offset = 0; offset < out.size(); offset += 64, ++counter) {
+    const auto ks = chacha20_block(key, nonce, counter);
+    const std::size_t n = std::min<std::size_t>(64, out.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= ks[i];
+  }
+  return out;
+}
+
+}  // namespace decloud::crypto

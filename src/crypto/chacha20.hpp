@@ -1,0 +1,33 @@
+// ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//
+// Sealed bids in the two-phase bid-exposure protocol (Section III-A of the
+// paper) are "encrypted entirely with temporary keys prior to submission".
+// We use ChaCha20 for that symmetric layer: participants pick a random
+// 256-bit temporary key, encrypt the canonical bid bytes, and later
+// broadcast the key to disclose the bid.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace decloud::crypto {
+
+/// 256-bit symmetric key.
+using SymmetricKey = std::array<std::uint8_t, 32>;
+/// 96-bit nonce.
+using Nonce = std::array<std::uint8_t, 12>;
+
+/// Applies the ChaCha20 keystream (encrypt == decrypt).
+/// `initial_counter` follows RFC 8439 (usually 0 or 1).
+[[nodiscard]] std::vector<std::uint8_t> chacha20_xor(const SymmetricKey& key, const Nonce& nonce,
+                                                     std::span<const std::uint8_t> data,
+                                                     std::uint32_t initial_counter = 0);
+
+/// Raw ChaCha20 block function, exposed for the RFC test vectors.
+[[nodiscard]] std::array<std::uint8_t, 64> chacha20_block(const SymmetricKey& key,
+                                                          const Nonce& nonce,
+                                                          std::uint32_t counter);
+
+}  // namespace decloud::crypto

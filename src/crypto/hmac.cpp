@@ -1,0 +1,45 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+#include <vector>
+
+namespace decloud::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> k{};
+  if (key.size() > kBlock) {
+    const Digest kd = Sha256::hash(key);
+    std::copy(kd.begin(), kd.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad{};
+  std::array<std::uint8_t, kBlock> opad{};
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  const Digest inner = Sha256().update({ipad.data(), ipad.size()}).update(message).finish();
+  return Sha256().update({opad.data(), opad.size()}).update({inner.data(), inner.size()}).finish();
+}
+
+std::vector<std::uint8_t> derive_bytes(std::span<const std::uint8_t> key,
+                                       std::span<const std::uint8_t> info, std::size_t n) {
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  std::uint32_t counter = 0;
+  while (out.size() < n) {
+    std::vector<std::uint8_t> msg(info.begin(), info.end());
+    for (int i = 0; i < 4; ++i) msg.push_back(static_cast<std::uint8_t>(counter >> (8 * i)));
+    const Digest block = hmac_sha256(key, msg);
+    const std::size_t take = std::min(block.size(), n - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace decloud::crypto

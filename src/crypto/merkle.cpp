@@ -1,0 +1,54 @@
+#include "crypto/merkle.hpp"
+
+#include "common/ensure.hpp"
+
+namespace decloud::crypto {
+
+Digest merkle_parent(const Digest& left, const Digest& right) {
+  Sha256 h;
+  const std::uint8_t tag = 0x01;  // domain separation: internal node
+  h.update({&tag, 1});
+  h.update({left.data(), left.size()});
+  h.update({right.data(), right.size()});
+  return h.finish();
+}
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves) : leaf_count_(leaves.size()) {
+  if (leaves.empty()) return;  // root_ stays all-zero
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      const Digest& left = prev[i];
+      const Digest& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(merkle_parent(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back().front();
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  DECLOUD_EXPECTS(index < leaf_count_);
+  MerkleProof proof;
+  std::size_t i = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling = (i % 2 == 0) ? std::min(i + 1, nodes.size() - 1) : i - 1;
+    proof.push_back({nodes[sibling], /*sibling_is_left=*/i % 2 == 1});
+    i /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest& leaf, const MerkleProof& proof, const Digest& root) {
+  Digest cur = leaf;
+  for (const auto& step : proof) {
+    cur = step.sibling_is_left ? merkle_parent(step.sibling, cur) : merkle_parent(cur, step.sibling);
+  }
+  return cur == root;
+}
+
+}  // namespace decloud::crypto

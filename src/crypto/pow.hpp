@@ -1,0 +1,41 @@
+// HashCash-style proof-of-work over SHA-256.
+//
+// Miners seal each block preamble with a PoW solution (Section III-A).  The
+// difficulty is expressed as a number of leading zero *bits* in the digest
+// of (header bytes || nonce); simulation difficulties stay small (8–20 bits)
+// so rounds complete quickly while preserving the protocol shape.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace decloud::crypto {
+
+/// A solved proof-of-work.
+struct PowSolution {
+  std::uint64_t nonce = 0;
+  Digest digest{};
+};
+
+/// Returns true if `digest` has at least `difficulty_bits` leading zero bits.
+[[nodiscard]] bool meets_difficulty(const Digest& digest, unsigned difficulty_bits);
+
+/// Digest of (header || nonce) — the quantity PoW constrains.
+[[nodiscard]] Digest pow_digest(std::span<const std::uint8_t> header, std::uint64_t nonce);
+
+/// Searches nonces starting from `start_nonce` until the difficulty is met
+/// or `max_attempts` nonces have been tried.  Deterministic given the same
+/// inputs.  Returns nullopt on exhaustion.
+[[nodiscard]] std::optional<PowSolution> solve_pow(std::span<const std::uint8_t> header,
+                                                   unsigned difficulty_bits,
+                                                   std::uint64_t start_nonce = 0,
+                                                   std::uint64_t max_attempts = UINT64_MAX);
+
+/// Verifies a claimed solution against the header and difficulty.
+[[nodiscard]] bool verify_pow(std::span<const std::uint8_t> header, unsigned difficulty_bits,
+                              const PowSolution& solution);
+
+}  // namespace decloud::crypto

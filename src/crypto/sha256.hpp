@@ -1,0 +1,59 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for block hashing, proof-of-work, Merkle trees, key fingerprints and
+// the verifiable-randomization seed.  Incremental interface so large block
+// bodies can be hashed without copying.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace decloud::crypto {
+
+/// A 256-bit digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Feeds more input.  May be called any number of times.
+  Sha256& update(std::span<const std::uint8_t> data);
+  Sha256& update(std::string_view data);
+
+  /// Finalizes and returns the digest.  The hasher must not be reused
+  /// afterwards (create a new one instead).
+  [[nodiscard]] Digest finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data);
+  [[nodiscard]] static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+  bool finished_ = false;
+};
+
+/// Hex string of a digest (convenience for logs/tests).
+[[nodiscard]] std::string digest_hex(const Digest& d);
+
+/// Hash functor so digests can key unordered containers.  Uses the first 8
+/// bytes — already uniformly distributed for a cryptographic digest.
+struct DigestHash {
+  std::size_t operator()(const Digest& d) const noexcept {
+    std::size_t h = 0;
+    for (int i = 0; i < 8; ++i) h = (h << 8) | d[static_cast<std::size_t>(i)];
+    return h;
+  }
+};
+
+}  // namespace decloud::crypto

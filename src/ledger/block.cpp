@@ -1,0 +1,49 @@
+#include "ledger/block.hpp"
+
+#include "common/byte_buffer.hpp"
+
+namespace decloud::ledger {
+
+std::vector<std::uint8_t> BlockHeader::bytes() const {
+  ByteWriter w;
+  w.write_u64(height);
+  w.write_bytes({prev_hash.data(), prev_hash.size()});
+  w.write_i64(timestamp);
+  w.write_bytes({bids_root.data(), bids_root.size()});
+  return std::move(w).take();
+}
+
+crypto::Digest bids_merkle_root(const std::vector<SealedBid>& bids) {
+  std::vector<crypto::Digest> leaves;
+  leaves.reserve(bids.size());
+  for (const auto& b : bids) leaves.push_back(b.digest());
+  return crypto::MerkleTree(std::move(leaves)).root();
+}
+
+bool validate_preamble(const BlockPreamble& preamble, unsigned difficulty_bits) {
+  const auto header_bytes = preamble.header.bytes();
+  if (!crypto::verify_pow({header_bytes.data(), header_bytes.size()}, difficulty_bits,
+                          preamble.pow)) {
+    return false;
+  }
+  if (bids_merkle_root(preamble.sealed_bids) != preamble.header.bids_root) return false;
+  for (const auto& bid : preamble.sealed_bids) {
+    if (!verify_sealed_bid(bid)) return false;
+  }
+  return true;
+}
+
+crypto::Digest Blockchain::tip_hash() const {
+  if (blocks_.empty()) return crypto::Digest{};
+  return blocks_.back().preamble.hash();
+}
+
+bool Blockchain::append(Block block, unsigned difficulty_bits) {
+  if (block.preamble.header.height != height()) return false;
+  if (block.preamble.header.prev_hash != tip_hash()) return false;
+  if (!validate_preamble(block.preamble, difficulty_bits)) return false;
+  blocks_.push_back(std::move(block));
+  return true;
+}
+
+}  // namespace decloud::ledger

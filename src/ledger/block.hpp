@@ -1,0 +1,85 @@
+// Blocks and the blockchain — Section II-A / III of the paper.
+//
+// A DeCloud block is split in two parts matching the two protocol phases:
+//
+//   * the *preamble* — previous-block reference, PoW solution and the
+//     sealed (still encrypted) bids.  Broadcast as soon as PoW is solved;
+//   * the *body* — the set of revealed temporary keys plus the miner's
+//     allocation suggestion.  Broadcast after key disclosure; other miners
+//     verify it by replaying the (deterministic) auction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "auction/allocation.hpp"
+#include "common/types.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/pow.hpp"
+#include "ledger/sealed_bid.hpp"
+
+namespace decloud::ledger {
+
+/// Fixed part of the block committing to its content.
+struct BlockHeader {
+  std::uint64_t height = 0;
+  crypto::Digest prev_hash{};
+  Time timestamp = 0;
+  /// Merkle root over the sealed-bid digests — lets anyone audit that the
+  /// miner neither dropped nor injected bids after PoW.
+  crypto::Digest bids_root{};
+
+  /// Canonical bytes of the header (the PoW pre-image).
+  [[nodiscard]] std::vector<std::uint8_t> bytes() const;
+};
+
+/// Phase-1 output: header + PoW + sealed bids.
+struct BlockPreamble {
+  BlockHeader header;
+  crypto::PowSolution pow;
+  std::vector<SealedBid> sealed_bids;
+
+  /// The block hash — the PoW digest of the header.  Doubles as the
+  /// verifiable-randomization evidence for the allocation.
+  [[nodiscard]] const crypto::Digest& hash() const { return pow.digest; }
+};
+
+/// Phase-2 output: revealed keys + allocation suggestion.
+struct BlockBody {
+  std::vector<KeyReveal> revealed_keys;
+  /// Canonical encoding of the miner's allocation suggestion
+  /// (ledger::encode_allocation).
+  std::vector<std::uint8_t> allocation;
+};
+
+/// A complete block.
+struct Block {
+  BlockPreamble preamble;
+  BlockBody body;
+};
+
+/// Computes the Merkle root over sealed-bid digests (all-zero for none).
+[[nodiscard]] crypto::Digest bids_merkle_root(const std::vector<SealedBid>& bids);
+
+/// Validates a preamble: PoW meets `difficulty_bits` over the header bytes,
+/// the Merkle root matches the carried bids, and every sealed bid's
+/// signature verifies.
+[[nodiscard]] bool validate_preamble(const BlockPreamble& preamble, unsigned difficulty_bits);
+
+/// An append-only chain of blocks with genesis handling.
+class Blockchain {
+ public:
+  /// Hash of the latest block (all-zero before any block exists).
+  [[nodiscard]] crypto::Digest tip_hash() const;
+  [[nodiscard]] std::uint64_t height() const { return blocks_.size(); }
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Appends a block after checking linkage (prev_hash/height) and PoW.
+  /// Returns false (and leaves the chain untouched) on any mismatch.
+  bool append(Block block, unsigned difficulty_bits);
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace decloud::ledger

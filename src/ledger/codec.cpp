@@ -1,0 +1,176 @@
+#include "ledger/codec.hpp"
+
+#include "common/byte_buffer.hpp"
+#include "common/ensure.hpp"
+
+namespace decloud::ledger {
+
+namespace {
+
+constexpr std::uint8_t kRequestTag = 0x01;
+constexpr std::uint8_t kOfferTag = 0x02;
+constexpr std::uint8_t kAllocationTag = 0x03;
+
+void write_resources(ByteWriter& w, const auction::ResourceVector& v) {
+  w.write_u32(static_cast<std::uint32_t>(v.entries().size()));
+  for (const auto& e : v.entries()) {
+    w.write_u32(e.type);
+    w.write_double(e.amount);
+  }
+}
+
+auction::ResourceVector read_resources(ByteReader& r) {
+  const std::uint32_t n = r.read_u32();
+  DECLOUD_EXPECTS_MSG(n <= 1 << 20, "implausible resource vector size");
+  std::vector<auction::ResourceAmount> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auction::ResourceId type = r.read_u32();
+    const double amount = r.read_double();
+    entries.push_back({type, amount});
+  }
+  return auction::ResourceVector(std::move(entries));
+}
+
+void write_location(ByteWriter& w, const std::optional<auction::Location>& loc) {
+  w.write_u8(loc ? 1 : 0);
+  if (loc) {
+    w.write_double(loc->x);
+    w.write_double(loc->y);
+  }
+}
+
+std::optional<auction::Location> read_location(ByteReader& r) {
+  if (r.read_u8() == 0) return std::nullopt;
+  auction::Location loc;
+  loc.x = r.read_double();
+  loc.y = r.read_double();
+  return loc;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const auction::Request& r) {
+  ByteWriter w;
+  w.write_u8(kRequestTag);
+  w.write_u64(r.id.value());
+  w.write_u64(r.client.value());
+  w.write_i64(r.submitted);
+  write_resources(w, r.resources);
+  write_resources(w, r.significance);
+  w.write_i64(r.window_start);
+  w.write_i64(r.window_end);
+  w.write_i64(r.duration);
+  w.write_double(r.bid);
+  write_location(w, r.location);
+  w.write_double(r.reputation);
+  return std::move(w).take();
+}
+
+auction::Request decode_request(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes);
+  DECLOUD_EXPECTS_MSG(reader.read_u8() == kRequestTag, "not a request payload");
+  auction::Request r;
+  r.id = RequestId(reader.read_u64());
+  r.client = ClientId(reader.read_u64());
+  r.submitted = reader.read_i64();
+  r.resources = read_resources(reader);
+  r.significance = read_resources(reader);
+  r.window_start = reader.read_i64();
+  r.window_end = reader.read_i64();
+  r.duration = reader.read_i64();
+  r.bid = reader.read_double();
+  r.location = read_location(reader);
+  r.reputation = reader.read_double();
+  DECLOUD_EXPECTS_MSG(reader.exhausted(), "trailing bytes after request");
+  return r;
+}
+
+std::vector<std::uint8_t> encode_offer(const auction::Offer& o) {
+  ByteWriter w;
+  w.write_u8(kOfferTag);
+  w.write_u64(o.id.value());
+  w.write_u64(o.provider.value());
+  w.write_i64(o.submitted);
+  write_resources(w, o.resources);
+  w.write_i64(o.window_start);
+  w.write_i64(o.window_end);
+  w.write_double(o.bid);
+  write_location(w, o.location);
+  w.write_double(o.min_reputation);
+  return std::move(w).take();
+}
+
+auction::Offer decode_offer(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes);
+  DECLOUD_EXPECTS_MSG(reader.read_u8() == kOfferTag, "not an offer payload");
+  auction::Offer o;
+  o.id = OfferId(reader.read_u64());
+  o.provider = ProviderId(reader.read_u64());
+  o.submitted = reader.read_i64();
+  o.resources = read_resources(reader);
+  o.window_start = reader.read_i64();
+  o.window_end = reader.read_i64();
+  o.bid = reader.read_double();
+  o.location = read_location(reader);
+  o.min_reputation = reader.read_double();
+  DECLOUD_EXPECTS_MSG(reader.exhausted(), "trailing bytes after offer");
+  return o;
+}
+
+std::vector<std::uint8_t> encode_allocation(const auction::RoundResult& result) {
+  ByteWriter w;
+  w.write_u8(kAllocationTag);
+  w.write_u32(static_cast<std::uint32_t>(result.matches.size()));
+  for (const auto& m : result.matches) {
+    w.write_u64(m.request);
+    w.write_u64(m.offer);
+    w.write_double(m.fraction);
+    w.write_double(m.payment);
+    w.write_double(m.unit_price);
+    write_resources(w, m.granted);
+  }
+  w.write_u64(result.tentative_trades);
+  w.write_u64(result.reduced_trades);
+  w.write_double(result.welfare);
+  w.write_u32(static_cast<std::uint32_t>(result.clearing_prices.size()));
+  for (const double p : result.clearing_prices) w.write_double(p);
+  return std::move(w).take();
+}
+
+auction::RoundResult decode_allocation(std::span<const std::uint8_t> bytes,
+                                       std::size_t num_requests, std::size_t num_offers) {
+  ByteReader reader(bytes);
+  DECLOUD_EXPECTS_MSG(reader.read_u8() == kAllocationTag, "not an allocation payload");
+  auction::RoundResult result;
+  result.payment_by_request.assign(num_requests, 0.0);
+  result.revenue_by_offer.assign(num_offers, 0.0);
+  const std::uint32_t n = reader.read_u32();
+  DECLOUD_EXPECTS_MSG(n <= num_requests, "more matches than requests");
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auction::Match m;
+    m.request = reader.read_u64();
+    m.offer = reader.read_u64();
+    m.fraction = reader.read_double();
+    m.payment = reader.read_double();
+    m.unit_price = reader.read_double();
+    m.granted = read_resources(reader);
+    DECLOUD_EXPECTS_MSG(m.request < num_requests && m.offer < num_offers,
+                        "match references out-of-range participant");
+    result.payment_by_request[m.request] += m.payment;
+    result.revenue_by_offer[m.offer] += m.payment;
+    result.total_payments += m.payment;
+    result.total_revenue += m.payment;
+    result.matches.push_back(m);
+  }
+  result.tentative_trades = reader.read_u64();
+  result.reduced_trades = reader.read_u64();
+  result.welfare = reader.read_double();
+  const std::uint32_t np = reader.read_u32();
+  DECLOUD_EXPECTS_MSG(np <= 1 << 20, "implausible clearing price count");
+  for (std::uint32_t i = 0; i < np; ++i) result.clearing_prices.push_back(reader.read_double());
+  DECLOUD_EXPECTS_MSG(reader.exhausted(), "trailing bytes after allocation");
+  return result;
+}
+
+}  // namespace decloud::ledger

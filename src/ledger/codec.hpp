@@ -1,0 +1,39 @@
+// Canonical wire encoding of bids and allocations.
+//
+// Everything that is hashed, signed, or re-verified by other miners must
+// serialize identically everywhere; this is the single source of truth for
+// those byte layouts (see common/byte_buffer.hpp for the primitive rules).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "auction/allocation.hpp"
+#include "auction/bid.hpp"
+
+namespace decloud::ledger {
+
+/// Serializes a request into canonical bytes.
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const auction::Request& r);
+
+/// Parses a request; throws precondition_error on malformed bytes.
+[[nodiscard]] auction::Request decode_request(std::span<const std::uint8_t> bytes);
+
+/// Serializes an offer into canonical bytes.
+[[nodiscard]] std::vector<std::uint8_t> encode_offer(const auction::Offer& o);
+
+/// Parses an offer; throws precondition_error on malformed bytes.
+[[nodiscard]] auction::Offer decode_offer(std::span<const std::uint8_t> bytes);
+
+/// Serializes an allocation suggestion (the matches plus settlement
+/// totals) for inclusion in a block body.
+[[nodiscard]] std::vector<std::uint8_t> encode_allocation(const auction::RoundResult& result);
+
+/// Parses an allocation suggestion.  Per-participant ledgers are
+/// reconstructed from the matches.
+[[nodiscard]] auction::RoundResult decode_allocation(std::span<const std::uint8_t> bytes,
+                                                     std::size_t num_requests,
+                                                     std::size_t num_offers);
+
+}  // namespace decloud::ledger

@@ -1,0 +1,97 @@
+#include "ledger/market.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace decloud::ledger {
+
+MarketOrchestrator::MarketOrchestrator(MarketConfig config)
+    : config_(std::move(config)),
+      protocol_(config_.consensus, config_.reputation),
+      wallet_(rng_) {}
+
+void MarketOrchestrator::submit(const auction::Request& request) {
+  auction::validate(request);
+  pending_requests_.push_back({request, 0});
+  ++stats_.requests_submitted;
+}
+
+void MarketOrchestrator::submit(const auction::Offer& offer) {
+  auction::validate(offer);
+  pending_offers_.push_back({offer, 0});
+  ++stats_.offers_submitted;
+}
+
+RoundOutcome MarketOrchestrator::run_round(Time now) {
+  // Seal and submit everything queued; remember which attempt each bid is
+  // on so we can histogram allocation latency afterwards.
+  std::unordered_map<std::uint64_t, std::size_t> request_attempt;
+  std::vector<PendingRequest> in_flight_requests(pending_requests_.begin(),
+                                                 pending_requests_.end());
+  std::vector<PendingOffer> in_flight_offers(pending_offers_.begin(), pending_offers_.end());
+  pending_requests_.clear();
+  pending_offers_.clear();
+
+  for (const auto& pr : in_flight_requests) {
+    request_attempt[pr.request.id.value()] = pr.attempts;
+    protocol_.mempool().submit(wallet_.submit_request(pr.request, rng_));
+  }
+  for (const auto& po : in_flight_offers) {
+    protocol_.mempool().submit(wallet_.submit_offer(po.offer, rng_));
+  }
+
+  const std::vector<Miner> verifiers(config_.num_verifiers, Miner(config_.consensus));
+  RoundOutcome outcome = protocol_.run_round({&wallet_}, verifiers, now);
+  ++stats_.rounds;
+  if (!outcome.block_accepted) {
+    // A rejected block consumes nobody's bids: re-queue everything as-is.
+    for (auto& pr : in_flight_requests) pending_requests_.push_back(pr);
+    for (auto& po : in_flight_offers) pending_offers_.push_back(po);
+    return outcome;
+  }
+
+  stats_.total_welfare += outcome.result.welfare;
+  stats_.total_settled += outcome.result.total_payments;
+
+  // Which request ids got matched?
+  std::vector<char> matched(outcome.snapshot.requests.size(), 0);
+  for (const auto& m : outcome.result.matches) matched[m.request] = 1;
+
+  std::unordered_map<std::uint64_t, char> matched_ids;
+  for (std::size_t i = 0; i < outcome.snapshot.requests.size(); ++i) {
+    if (matched[i]) matched_ids[outcome.snapshot.requests[i].id.value()] = 1;
+  }
+
+  for (auto& pr : in_flight_requests) {
+    const auto id = pr.request.id.value();
+    if (matched_ids.contains(id)) {
+      ++stats_.requests_allocated;
+      const std::size_t attempt = request_attempt[id];
+      if (stats_.allocation_latency.size() <= attempt) {
+        stats_.allocation_latency.resize(attempt + 1, 0);
+      }
+      ++stats_.allocation_latency[attempt];
+    } else if (++pr.attempts <= config_.max_resubmissions) {
+      pending_requests_.push_back(pr);  // resubmit next round
+    } else {
+      ++stats_.requests_abandoned;
+    }
+  }
+  // Offers re-enter while their windows stay useful; the retry budget
+  // bounds that too.
+  for (auto& po : in_flight_offers) {
+    if (++po.attempts <= config_.max_resubmissions) pending_offers_.push_back(po);
+  }
+  return outcome;
+}
+
+void MarketOrchestrator::drain(std::size_t max_rounds, Time start_time, Seconds round_interval) {
+  Time now = start_time;
+  for (std::size_t round = 0; round < max_rounds && queued_bids() > 0; ++round) {
+    (void)run_round(now);
+    now += round_interval;
+  }
+}
+
+}  // namespace decloud::ledger

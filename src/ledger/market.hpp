@@ -1,0 +1,98 @@
+// Multi-round market orchestration with resubmission.
+//
+// Bids that fail to match in one block are not lost: "Participants, whose
+// bids were refused, can resubmit their bids" (Section III-B), and offers
+// whose agreements are denied are flagged for resubmission by the smart
+// contract.  The paper's "online appearance to users" (Section VI) emerges
+// from this loop: rounds correspond to block generation, and a bid's
+// latency is the number of rounds it waits until allocation.
+//
+// MarketOrchestrator drives the in-process protocol for many rounds,
+// automatically resubmitting unmatched bids (up to a configurable retry
+// budget) and recording per-bid allocation latency — the statistic a
+// deployment would monitor.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "ledger/protocol.hpp"
+
+namespace decloud::ledger {
+
+/// Orchestration parameters.
+struct MarketConfig {
+  /// Rounds a bid stays in the resubmission loop before being abandoned.
+  std::size_t max_resubmissions = 3;
+  /// Verifier miners participating each round.
+  std::size_t num_verifiers = 2;
+  ConsensusParams consensus;
+  ReputationConfig reputation;
+};
+
+/// Lifetime statistics of the orchestrated market.
+struct MarketStats {
+  std::size_t rounds = 0;
+  std::size_t requests_submitted = 0;
+  std::size_t requests_allocated = 0;
+  std::size_t requests_abandoned = 0;
+  std::size_t offers_submitted = 0;
+  Money total_welfare = 0.0;
+  Money total_settled = 0.0;
+  /// allocation_latency[k] = requests allocated in their (k+1)-th round.
+  std::vector<std::size_t> allocation_latency;
+
+  [[nodiscard]] double allocation_rate() const {
+    return requests_submitted == 0
+               ? 0.0
+               : static_cast<double>(requests_allocated) /
+                     static_cast<double>(requests_submitted);
+  }
+};
+
+/// Drives LedgerProtocol across rounds with automatic resubmission.
+class MarketOrchestrator {
+ public:
+  explicit MarketOrchestrator(MarketConfig config);
+
+  /// Enqueues a request for the next round.  Ids must be unique across the
+  /// orchestrator's lifetime (they key the latency bookkeeping).
+  void submit(const auction::Request& request);
+  /// Enqueues an offer for the next round.
+  void submit(const auction::Offer& offer);
+
+  /// Runs one block round over everything currently queued; unmatched bids
+  /// re-queue automatically until their retry budget runs out.  Returns
+  /// the protocol-level outcome.
+  RoundOutcome run_round(Time now);
+
+  /// Runs rounds until nothing is queued or `max_rounds` elapsed.
+  void drain(std::size_t max_rounds, Time start_time = 0, Seconds round_interval = 600);
+
+  [[nodiscard]] const MarketStats& stats() const { return stats_; }
+  [[nodiscard]] const LedgerProtocol& protocol() const { return protocol_; }
+  [[nodiscard]] std::size_t queued_bids() const {
+    return pending_requests_.size() + pending_offers_.size();
+  }
+
+ private:
+  struct PendingRequest {
+    auction::Request request;
+    std::size_t attempts = 0;
+  };
+  struct PendingOffer {
+    auction::Offer offer;
+    std::size_t attempts = 0;
+  };
+
+  MarketConfig config_;
+  LedgerProtocol protocol_;
+  Rng rng_{0x6d61726b6574ULL};
+  Participant wallet_;  // one custodial wallet signs for the whole market
+  std::deque<PendingRequest> pending_requests_;
+  std::deque<PendingOffer> pending_offers_;
+  MarketStats stats_;
+};
+
+}  // namespace decloud::ledger

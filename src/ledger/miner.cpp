@@ -1,0 +1,95 @@
+#include "ledger/miner.hpp"
+
+#include <unordered_map>
+
+#include "common/ensure.hpp"
+#include "ledger/codec.hpp"
+
+namespace decloud::ledger {
+
+std::optional<BlockPreamble> Miner::mine_preamble(std::vector<SealedBid> bids,
+                                                  const crypto::Digest& prev_hash,
+                                                  std::uint64_t height, Time timestamp) const {
+  BlockPreamble preamble;
+  preamble.header.height = height;
+  preamble.header.prev_hash = prev_hash;
+  preamble.header.timestamp = timestamp;
+  preamble.header.bids_root = bids_merkle_root(bids);
+  preamble.sealed_bids = std::move(bids);
+
+  const auto header_bytes = preamble.header.bytes();
+  const auto solution = crypto::solve_pow({header_bytes.data(), header_bytes.size()},
+                                          params_.difficulty_bits, /*start_nonce=*/0,
+                                          params_.max_pow_attempts);
+  if (!solution) return std::nullopt;
+  preamble.pow = *solution;
+  return preamble;
+}
+
+OpenedBlock Miner::open_block(const BlockPreamble& preamble,
+                              const std::vector<KeyReveal>& reveals) {
+  std::unordered_map<crypto::Digest, crypto::SymmetricKey, crypto::DigestHash> keys;
+  for (const auto& kr : reveals) keys.emplace(kr.bid_digest, kr.key);
+
+  OpenedBlock opened;
+  for (std::size_t i = 0; i < preamble.sealed_bids.size(); ++i) {
+    const SealedBid& bid = preamble.sealed_bids[i];
+    const auto it = keys.find(bid.digest());
+    if (it == keys.end()) {
+      opened.unopened.push_back(i);
+      continue;
+    }
+    const auto plaintext = open_bid(bid, it->second);
+    if (!plaintext) {
+      opened.unopened.push_back(i);
+      continue;
+    }
+    // A malformed plaintext (wrong key that happened to hit the right tag,
+    // or a corrupt submission) is contained here: the bid is skipped.
+    try {
+      if (bid.kind == BidKind::kRequest) {
+        opened.snapshot.requests.push_back(decode_request(*plaintext));
+        opened.request_source.push_back(i);
+      } else {
+        opened.snapshot.offers.push_back(decode_offer(*plaintext));
+        opened.offer_source.push_back(i);
+      }
+    } catch (const precondition_error&) {
+      opened.unopened.push_back(i);
+    }
+  }
+  return opened;
+}
+
+std::uint64_t Miner::allocation_seed(const BlockPreamble& preamble) {
+  // Fold the block hash into the RNG seed; the hash is PoW-constrained and
+  // fixed before keys are revealed, so no one can grind the randomization.
+  const crypto::Digest& h = preamble.hash();
+  std::uint64_t seed = 0;
+  for (int i = 0; i < 8; ++i) seed = (seed << 8) | h[static_cast<std::size_t>(i)];
+  return seed;
+}
+
+BlockBody Miner::compute_body(const BlockPreamble& preamble,
+                              const std::vector<KeyReveal>& reveals) const {
+  const OpenedBlock opened = open_block(preamble, reveals);
+  const auction::DeCloudAuction mechanism(params_.auction);
+  const auction::RoundResult result = mechanism.run(opened.snapshot, allocation_seed(preamble));
+
+  BlockBody body;
+  body.revealed_keys = reveals;
+  body.allocation = encode_allocation(result);
+  return body;
+}
+
+bool Miner::verify_body(const BlockPreamble& preamble, const BlockBody& body) const {
+  if (!validate_preamble(preamble, params_.difficulty_bits)) return false;
+  const OpenedBlock opened = open_block(preamble, body.revealed_keys);
+  const auction::DeCloudAuction mechanism(params_.auction);
+  const auction::RoundResult replay = mechanism.run(opened.snapshot, allocation_seed(preamble));
+  // Byte-exact comparison: the mechanism is deterministic, so any honest
+  // producer yields exactly these bytes.
+  return encode_allocation(replay) == body.allocation;
+}
+
+}  // namespace decloud::ledger

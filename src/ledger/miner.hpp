@@ -1,0 +1,78 @@
+// Miner logic — both roles of Section III: the block producer (assemble,
+// mine PoW, decrypt after key reveal, compute the allocation) and the
+// verifier (validate the preamble, re-run the deterministic auction and
+// compare against the suggested allocation).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "auction/config.hpp"
+#include "auction/mechanism.hpp"
+#include "ledger/block.hpp"
+
+namespace decloud::ledger {
+
+/// Shared consensus parameters every miner must agree on.
+struct ConsensusParams {
+  /// Leading zero bits required of the block hash.  Simulation-scale.
+  unsigned difficulty_bits = 12;
+  /// The auction configuration is part of consensus: a divergent config
+  /// yields divergent allocations and the block is rejected.
+  auction::AuctionConfig auction;
+  /// Upper bound on PoW attempts before the miner gives up (simulation
+  /// safety valve; never hit at sane difficulties).
+  std::uint64_t max_pow_attempts = UINT64_MAX;
+};
+
+/// The bids of a block decrypted into an auction snapshot, remembering
+/// which sealed bid produced which row (for audits).
+struct OpenedBlock {
+  auction::MarketSnapshot snapshot;
+  /// sealed-bid index (into preamble.sealed_bids) per snapshot request.
+  std::vector<std::size_t> request_source;
+  /// sealed-bid index per snapshot offer.
+  std::vector<std::size_t> offer_source;
+  /// Sealed bids for which no valid key was revealed (their owners stay
+  /// out of this round and must resubmit).
+  std::vector<std::size_t> unopened;
+};
+
+class Miner {
+ public:
+  explicit Miner(ConsensusParams params) : params_(std::move(params)) {}
+
+  [[nodiscard]] const ConsensusParams& params() const { return params_; }
+
+  /// Phase 1: assembles a preamble over the given sealed bids on top of the
+  /// current tip and solves PoW.  Returns nullopt only if max_pow_attempts
+  /// is exhausted.
+  [[nodiscard]] std::optional<BlockPreamble> mine_preamble(std::vector<SealedBid> bids,
+                                                           const crypto::Digest& prev_hash,
+                                                           std::uint64_t height,
+                                                           Time timestamp) const;
+
+  /// Phase 2 (producer): decrypts the bids with the revealed keys and runs
+  /// the auction seeded by the block hash, producing the body.
+  [[nodiscard]] BlockBody compute_body(const BlockPreamble& preamble,
+                                       const std::vector<KeyReveal>& reveals) const;
+
+  /// Phase 2 (verifier): re-derives the allocation from the preamble and
+  /// revealed keys and accepts the body iff it matches byte-for-byte
+  /// ("miners verify the accuracy of the allocation algorithm execution").
+  [[nodiscard]] bool verify_body(const BlockPreamble& preamble, const BlockBody& body) const;
+
+  /// Decrypts a preamble's bids with a key set (shared by producer and
+  /// verifier paths).  Bids with missing/wrong keys or malformed plaintext
+  /// are skipped and reported in `unopened`.
+  [[nodiscard]] static OpenedBlock open_block(const BlockPreamble& preamble,
+                                              const std::vector<KeyReveal>& reveals);
+
+  /// The verifiable-randomization seed derived from the block hash.
+  [[nodiscard]] static std::uint64_t allocation_seed(const BlockPreamble& preamble);
+
+ private:
+  ConsensusParams params_;
+};
+
+}  // namespace decloud::ledger

@@ -1,0 +1,38 @@
+#include "ledger/participant.hpp"
+
+#include "ledger/codec.hpp"
+
+namespace decloud::ledger {
+
+SealedBid Participant::seal(BidKind kind, std::vector<std::uint8_t> plaintext, Rng& rng) {
+  crypto::SymmetricKey key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_below(256));
+  crypto::Nonce nonce{};
+  for (auto& b : nonce) b = static_cast<std::uint8_t>(rng.next_below(256));
+
+  SealedBid bid = seal_bid(kind, {plaintext.data(), plaintext.size()}, key, nonce, keys_);
+  pending_.emplace(bid.digest(), key);
+  return bid;
+}
+
+SealedBid Participant::submit_request(const auction::Request& r, Rng& rng) {
+  return seal(BidKind::kRequest, encode_request(r), rng);
+}
+
+SealedBid Participant::submit_offer(const auction::Offer& o, Rng& rng) {
+  return seal(BidKind::kOffer, encode_offer(o), rng);
+}
+
+std::vector<KeyReveal> Participant::on_preamble(const BlockPreamble& preamble) {
+  std::vector<KeyReveal> reveals;
+  for (const auto& bid : preamble.sealed_bids) {
+    const crypto::Digest d = bid.digest();
+    if (const auto it = pending_.find(d); it != pending_.end()) {
+      reveals.push_back({.bid_digest = d, .key = it->second});
+      pending_.erase(it);
+    }
+  }
+  return reveals;
+}
+
+}  // namespace decloud::ledger

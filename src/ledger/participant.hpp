@@ -1,0 +1,46 @@
+// Participant-side wallet logic: sealing bids, tracking temporary keys,
+// revealing them when the preamble arrives (Section III-A).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "auction/bid.hpp"
+#include "common/rng.hpp"
+#include "ledger/block.hpp"
+#include "ledger/sealed_bid.hpp"
+
+namespace decloud::ledger {
+
+/// A client or provider wallet.  Holds the long-term signing key and the
+/// per-bid temporary encryption keys awaiting disclosure.
+class Participant {
+ public:
+  /// Creates a wallet with a fresh keypair drawn from `rng`.
+  explicit Participant(Rng& rng) : keys_(crypto::generate_keypair(rng)) {}
+  explicit Participant(crypto::KeyPair keys) : keys_(std::move(keys)) {}
+
+  [[nodiscard]] const crypto::PublicKey& public_key() const { return keys_.pub; }
+
+  /// Seals a request under a fresh temporary key and remembers the key.
+  [[nodiscard]] SealedBid submit_request(const auction::Request& r, Rng& rng);
+
+  /// Seals an offer under a fresh temporary key and remembers the key.
+  [[nodiscard]] SealedBid submit_offer(const auction::Offer& o, Rng& rng);
+
+  /// Reacts to a (already PoW-validated) preamble: returns the key reveals
+  /// for every pending bid of ours it contains.  Revealed keys are retired
+  /// from the pending set.
+  [[nodiscard]] std::vector<KeyReveal> on_preamble(const BlockPreamble& preamble);
+
+  /// Number of bids still awaiting inclusion.
+  [[nodiscard]] std::size_t pending_bids() const { return pending_.size(); }
+
+ private:
+  SealedBid seal(BidKind kind, std::vector<std::uint8_t> plaintext, Rng& rng);
+
+  crypto::KeyPair keys_;
+  std::unordered_map<crypto::Digest, crypto::SymmetricKey, crypto::DigestHash> pending_;
+};
+
+}  // namespace decloud::ledger

@@ -1,0 +1,64 @@
+#include "ledger/protocol.hpp"
+
+#include <utility>
+
+#include "common/ensure.hpp"
+#include "ledger/codec.hpp"
+
+namespace decloud::ledger {
+
+std::vector<SealedBid> Mempool::drain(std::size_t max_bids) {
+  if (max_bids >= pool_.size()) return std::exchange(pool_, {});
+  std::vector<SealedBid> out(pool_.begin(), pool_.begin() + static_cast<std::ptrdiff_t>(max_bids));
+  pool_.erase(pool_.begin(), pool_.begin() + static_cast<std::ptrdiff_t>(max_bids));
+  return out;
+}
+
+RoundOutcome LedgerProtocol::run_round(std::vector<Participant*> participants,
+                                       const std::vector<Miner>& verifiers, Time now) {
+  RoundOutcome outcome;
+
+  // Phase 1: assemble + PoW over the sealed bids.
+  auto bids = mempool_.drain();
+  auto preamble = producer_.mine_preamble(std::move(bids), chain_.tip_hash(), chain_.height(), now);
+  DECLOUD_ENSURES_MSG(preamble.has_value(), "PoW search exhausted (raise max_pow_attempts)");
+
+  // Participants validate the preamble and reveal keys for their bids.
+  std::vector<KeyReveal> reveals;
+  if (validate_preamble(*preamble, params_.difficulty_bits)) {
+    for (Participant* p : participants) {
+      DECLOUD_EXPECTS(p != nullptr);
+      auto r = p->on_preamble(*preamble);
+      reveals.insert(reveals.end(), r.begin(), r.end());
+    }
+  }
+
+  // Phase 2: allocation computation and block body.
+  BlockBody body = producer_.compute_body(*preamble, reveals);
+
+  // Collective verification: every verifier re-runs the auction.
+  bool all_accept = true;
+  for (const Miner& v : verifiers) {
+    const bool ok = v.verify_body(*preamble, body);
+    outcome.verifier_votes.push_back(ok);
+    all_accept = all_accept && ok;
+  }
+
+  const OpenedBlock opened = Miner::open_block(*preamble, body.revealed_keys);
+  outcome.snapshot = opened.snapshot;
+  outcome.result = decode_allocation({body.allocation.data(), body.allocation.size()},
+                                     opened.snapshot.requests.size(),
+                                     opened.snapshot.offers.size());
+
+  if (!all_accept) return outcome;  // block rejected; nothing recorded
+
+  outcome.block = Block{.preamble = std::move(*preamble), .body = std::move(body)};
+  outcome.block_accepted = chain_.append(outcome.block, params_.difficulty_bits);
+  if (outcome.block_accepted) {
+    outcome.agreements =
+        contract_.register_allocation(chain_.height() - 1, outcome.snapshot, outcome.result);
+  }
+  return outcome;
+}
+
+}  // namespace decloud::ledger

@@ -1,0 +1,81 @@
+// In-process orchestration of the two-phase bid exposure protocol
+// (Fig. 2 of the paper), without a network between the parties.  The
+// latency-modelled variant lives in src/sim; this class is the reference
+// sequence of protocol steps both share:
+//
+//   1. participants seal bids and submit them to the mempool;
+//   2. miner A assembles a preamble over the pooled bids and solves PoW;
+//   3. participants validate the preamble and broadcast temporary keys for
+//      their included bids;
+//   4. miner A decrypts, runs the auction seeded by the block hash, and
+//      publishes the body (keys + allocation suggestion);
+//   5. the other miners re-run the auction and accept or reject the block;
+//   6. on acceptance the block is appended and agreements are registered
+//      with the smart contract; clients then accept/deny their matches.
+#pragma once
+
+#include <vector>
+
+#include "ledger/contract.hpp"
+#include "ledger/miner.hpp"
+#include "ledger/participant.hpp"
+
+namespace decloud::ledger {
+
+/// The outcome of one protocol round.
+struct RoundOutcome {
+  bool block_accepted = false;
+  /// Votes of the verifier miners (true = accept), aligned with the
+  /// verifier list given to run_round.
+  std::vector<bool> verifier_votes;
+  /// The mined block (valid only when block_accepted).
+  Block block;
+  /// The decrypted market snapshot of the round.
+  auction::MarketSnapshot snapshot;
+  /// The decoded allocation.
+  auction::RoundResult result;
+  /// Contract ids created for the matches.
+  std::vector<ContractId> agreements;
+};
+
+/// A mempool of sealed bids awaiting inclusion.
+class Mempool {
+ public:
+  void submit(SealedBid bid) { pool_.push_back(std::move(bid)); }
+  [[nodiscard]] std::size_t size() const { return pool_.size(); }
+  /// Drains up to `max_bids` bids in submission order.
+  [[nodiscard]] std::vector<SealedBid> drain(std::size_t max_bids = SIZE_MAX);
+
+ private:
+  std::vector<SealedBid> pool_;
+};
+
+/// Reference protocol driver: one producer miner, any number of verifier
+/// miners, a shared blockchain and agreement contract.
+class LedgerProtocol {
+ public:
+  explicit LedgerProtocol(ConsensusParams params,
+                          ReputationRegistry::Config reputation = {})
+      : params_(std::move(params)), producer_(params_), contract_(reputation) {}
+
+  [[nodiscard]] Mempool& mempool() { return mempool_; }
+  [[nodiscard]] const Blockchain& chain() const { return chain_; }
+  [[nodiscard]] AgreementContract& contract() { return contract_; }
+  [[nodiscard]] const ConsensusParams& params() const { return params_; }
+
+  /// Runs one full round: drains the mempool, mines, collects key reveals
+  /// from `participants`, computes the allocation, has every verifier in
+  /// `verifiers` vote, and appends the block iff all votes pass.
+  /// Registration with the agreement contract happens on acceptance.
+  RoundOutcome run_round(std::vector<Participant*> participants,
+                         const std::vector<Miner>& verifiers, Time now);
+
+ private:
+  ConsensusParams params_;
+  Miner producer_;
+  Mempool mempool_;
+  Blockchain chain_;
+  AgreementContract contract_;
+};
+
+}  // namespace decloud::ledger

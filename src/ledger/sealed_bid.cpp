@@ -1,0 +1,51 @@
+#include "ledger/sealed_bid.hpp"
+
+#include "common/byte_buffer.hpp"
+
+namespace decloud::ledger {
+
+std::vector<std::uint8_t> SealedBid::signed_payload() const {
+  ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(kind));
+  w.write_bytes({nonce.data(), nonce.size()});
+  w.write_bytes({ciphertext.data(), ciphertext.size()});
+  w.write_u64(sender.y);
+  return std::move(w).take();
+}
+
+crypto::Digest SealedBid::digest() const {
+  const auto payload = signed_payload();
+  return crypto::Sha256::hash({payload.data(), payload.size()});
+}
+
+SealedBid seal_bid(BidKind kind, std::span<const std::uint8_t> plaintext,
+                   const crypto::SymmetricKey& key, const crypto::Nonce& nonce,
+                   const crypto::KeyPair& signer) {
+  SealedBid bid;
+  bid.kind = kind;
+  bid.nonce = nonce;
+  bid.ciphertext = crypto::chacha20_xor(key, nonce, plaintext);
+  bid.sender = signer.pub;
+  const auto payload = bid.signed_payload();
+  bid.signature = crypto::sign(signer.priv, {payload.data(), payload.size()});
+  return bid;
+}
+
+bool verify_sealed_bid(const SealedBid& bid) {
+  const auto payload = bid.signed_payload();
+  return crypto::verify(bid.sender, {payload.data(), payload.size()}, bid.signature);
+}
+
+std::optional<std::vector<std::uint8_t>> open_bid(const SealedBid& bid,
+                                                  const crypto::SymmetricKey& key) {
+  auto plaintext = crypto::chacha20_xor(key, bid.nonce, bid.ciphertext);
+  if (plaintext.empty()) return std::nullopt;
+  // The first plaintext byte is the codec tag; it must agree with the
+  // declared kind, which catches a wrong key with high probability before
+  // the full decode runs.
+  const std::uint8_t tag = plaintext.front();
+  if (tag != static_cast<std::uint8_t>(bid.kind)) return std::nullopt;
+  return plaintext;
+}
+
+}  // namespace decloud::ledger

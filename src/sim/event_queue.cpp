@@ -1,0 +1,37 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace decloud::sim {
+
+void EventQueue::schedule_at(SimTime when, Handler handler) {
+  queue_.push({std::max(when, now_), next_seq_++, std::move(handler)});
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && fired < max_events) {
+    // Move out of the queue before invoking: the handler may schedule.
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = e.when;
+    e.handler();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = e.when;
+    e.handler();
+    ++fired;
+  }
+  now_ = std::max(now_, until);
+  return fired;
+}
+
+}  // namespace decloud::sim

@@ -1,0 +1,61 @@
+// Discrete-event simulation core.
+//
+// The two-phase protocol is asynchronous: preambles, key reveals and block
+// bodies propagate over links with latency.  This queue orders callbacks by
+// simulated time (FIFO within a timestamp) and drives them to quiescence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace decloud::sim {
+
+/// Simulated time in milliseconds.
+using SimTime = std::int64_t;
+
+/// A deterministic discrete-event queue.  Events scheduled for the same
+/// time fire in scheduling order (a monotonic sequence number breaks ties),
+/// so runs are exactly reproducible.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` to run at absolute simulated time `when`
+  /// (>= now(); earlier times are clamped to now()).
+  void schedule_at(SimTime when, Handler handler);
+
+  /// Schedules `handler` to run `delay` after the current time.
+  void schedule_in(SimTime delay, Handler handler) { schedule_at(now_ + delay, std::move(handler)); }
+
+  /// Runs events until the queue is empty or `max_events` fired.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs events with time ≤ `until`.
+  std::size_t run_until(SimTime until);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace decloud::sim

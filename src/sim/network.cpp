@@ -1,0 +1,58 @@
+#include "sim/network.hpp"
+
+#include "common/ensure.hpp"
+
+namespace decloud::sim {
+
+Network::Network(std::size_t num_nodes, LatencyConfig latency, EventQueue& queue, Rng& rng)
+    : handlers_(num_nodes),
+      latency_(num_nodes * num_nodes, 0),
+      queue_(queue),
+      rng_(rng),
+      loss_(latency.loss) {
+  DECLOUD_EXPECTS(num_nodes > 0);
+  DECLOUD_EXPECTS(latency.loss >= 0.0 && latency.loss < 1.0);
+  for (std::size_t from = 0; from < num_nodes; ++from) {
+    for (std::size_t to = 0; to < num_nodes; ++to) {
+      if (from == to) continue;
+      const SimTime jitter =
+          latency.jitter_ms > 0 ? static_cast<SimTime>(rng.next_below(
+                                      static_cast<std::uint64_t>(latency.jitter_ms)))
+                                : 0;
+      latency_[from * num_nodes + to] = latency.base_ms + jitter;
+    }
+  }
+}
+
+void Network::attach(NodeId node, Handler handler) {
+  DECLOUD_EXPECTS(node.value() < handlers_.size());
+  handlers_[node.value()] = std::move(handler);
+}
+
+SimTime Network::link_latency(NodeId from, NodeId to) const {
+  DECLOUD_EXPECTS(from.value() < handlers_.size() && to.value() < handlers_.size());
+  return latency_[from.value() * handlers_.size() + to.value()];
+}
+
+void Network::send(NodeId from, NodeId to, Message message) {
+  DECLOUD_EXPECTS(from.value() < handlers_.size() && to.value() < handlers_.size());
+  DECLOUD_EXPECTS_MSG(static_cast<bool>(handlers_[to.value()]), "destination has no handler");
+  ++messages_sent_;
+  if (loss_ > 0.0 && rng_.bernoulli(loss_)) {
+    ++messages_dropped_;
+    return;  // the overlay ate it
+  }
+  const SimTime delay = link_latency(from, to);
+  queue_.schedule_in(delay, [this, from, to, msg = std::move(message)]() {
+    handlers_[to.value()](from, msg);
+  });
+}
+
+void Network::broadcast(NodeId from, const Message& message) {
+  for (std::size_t to = 0; to < handlers_.size(); ++to) {
+    if (to == from.value()) continue;
+    send(from, NodeId(to), message);
+  }
+}
+
+}  // namespace decloud::sim

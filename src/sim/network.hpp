@@ -1,0 +1,85 @@
+// P2P overlay model: typed protocol messages delivered over latency links.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "ledger/block.hpp"
+#include "sim/event_queue.hpp"
+
+namespace decloud::sim {
+
+/// Protocol messages of the two-phase bid exposure protocol (Fig. 2).
+struct SubmitBidMsg {
+  ledger::SealedBid bid;
+};
+struct PreambleMsg {
+  ledger::BlockPreamble preamble;
+};
+struct KeyRevealMsg {
+  std::vector<ledger::KeyReveal> reveals;
+};
+struct BodyMsg {
+  std::uint64_t height = 0;
+  ledger::BlockBody body;
+};
+struct VoteMsg {
+  std::uint64_t height = 0;
+  bool accept = false;
+  NodeId voter;
+};
+
+using Message = std::variant<SubmitBidMsg, PreambleMsg, KeyRevealMsg, BodyMsg, VoteMsg>;
+
+/// Latency model: per-pair base latency (ms) with uniform jitter, sampled
+/// once per directed link at construction — stable but asymmetric, like
+/// real overlays.  `loss` is a per-message independent drop probability
+/// (failure injection for robustness tests; the default overlay is
+/// reliable, TCP-like).
+struct LatencyConfig {
+  SimTime base_ms = 20;
+  SimTime jitter_ms = 30;
+  double loss = 0.0;
+};
+
+/// A full-mesh overlay of `num_nodes` nodes.  Delivery calls the handler
+/// registered for the destination node.  No loss model (TCP-like overlay);
+/// duplication/ordering follow directly from per-link latencies.
+class Network {
+ public:
+  using Handler = std::function<void(NodeId from, const Message&)>;
+
+  Network(std::size_t num_nodes, LatencyConfig latency, EventQueue& queue, Rng& rng);
+
+  /// Messages silently dropped by the loss model so far.
+  [[nodiscard]] std::size_t messages_dropped() const { return messages_dropped_; }
+
+  /// Registers the message handler for a node (must be set before traffic).
+  void attach(NodeId node, Handler handler);
+
+  /// Sends a message over the (from → to) link.
+  void send(NodeId from, NodeId to, Message message);
+
+  /// Sends to every node except the sender (gossip broadcast, flattened).
+  void broadcast(NodeId from, const Message& message);
+
+  [[nodiscard]] std::size_t num_nodes() const { return handlers_.size(); }
+  [[nodiscard]] SimTime link_latency(NodeId from, NodeId to) const;
+  [[nodiscard]] std::size_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+
+ private:
+  std::vector<Handler> handlers_;
+  std::vector<SimTime> latency_;  // row-major [from][to]
+  EventQueue& queue_;
+  Rng& rng_;
+  double loss_ = 0.0;
+  std::size_t messages_sent_ = 0;
+  std::size_t messages_dropped_ = 0;
+};
+
+}  // namespace decloud::sim

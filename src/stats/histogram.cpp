@@ -1,0 +1,46 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace decloud::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  DECLOUD_EXPECTS(hi > lo);
+  DECLOUD_EXPECTS(bins > 0);
+}
+
+std::size_t Histogram::bin_of(double sample) const {
+  const double t = (sample - lo_) / (hi_ - lo_);
+  const auto raw = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(raw, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1));
+}
+
+void Histogram::add(double sample, double weight) {
+  DECLOUD_EXPECTS(weight >= 0.0);
+  counts_[bin_of(sample)] += weight;
+  total_ += weight;
+}
+
+void Histogram::add_all(std::span<const double> samples) {
+  for (const double s : samples) add(s);
+}
+
+std::vector<double> Histogram::to_distribution() const { return normalize(counts_); }
+
+std::vector<double> normalize(std::span<const double> weights) {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  std::vector<double> out(weights.size());
+  if (total <= 0.0) {
+    const double u = weights.empty() ? 0.0 : 1.0 / static_cast<double>(weights.size());
+    std::fill(out.begin(), out.end(), u);
+    return out;
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) out[i] = weights[i] / total;
+  return out;
+}
+
+}  // namespace decloud::stats

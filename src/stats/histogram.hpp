@@ -1,0 +1,43 @@
+// Fixed-bin histograms and discrete probability distributions.
+//
+// The flexibility study (Fig. 5d–5f) controls the divergence between the
+// distributions of requested and offered resources; these helpers convert
+// samples into normalized distributions the KL-divergence code consumes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace decloud::stats {
+
+/// A histogram with `bins` equal-width bins over [lo, hi).  Samples outside
+/// the range are clamped into the boundary bins, so no mass is lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double sample, double weight = 1.0);
+  void add_all(std::span<const double> samples);
+
+  [[nodiscard]] std::size_t bin_of(double sample) const;
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] double count(std::size_t bin) const { return counts_[bin]; }
+  [[nodiscard]] double total() const { return total_; }
+
+  /// Normalizes to a probability distribution.  An empty histogram yields a
+  /// uniform distribution (the least-informative choice).
+  [[nodiscard]] std::vector<double> to_distribution() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Normalizes arbitrary non-negative weights into a distribution summing to
+/// one.  All-zero input yields the uniform distribution.
+[[nodiscard]] std::vector<double> normalize(std::span<const double> weights);
+
+}  // namespace decloud::stats

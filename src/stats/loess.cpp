@@ -1,0 +1,100 @@
+#include "stats/loess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/ensure.hpp"
+
+namespace decloud::stats {
+
+namespace {
+
+double tricube(double u) {
+  const double a = 1.0 - std::abs(u) * std::abs(u) * std::abs(u);
+  return (std::abs(u) >= 1.0) ? 0.0 : a * a * a;
+}
+
+/// Weighted least-squares line fit evaluated at x0.
+double local_fit(std::span<const double> x, std::span<const double> y,
+                 std::span<const std::size_t> order, std::size_t k, double x0) {
+  // Find the k nearest neighbours of x0 among the sorted x values.
+  const auto cmp = [&](std::size_t idx, double v) { return x[idx] < v; };
+  auto lo = std::lower_bound(order.begin(), order.end(), x0, cmp) - order.begin();
+  std::ptrdiff_t left = lo - 1;
+  std::ptrdiff_t right = lo;
+  std::vector<std::size_t> nbrs;
+  nbrs.reserve(k);
+  while (nbrs.size() < k) {
+    const bool can_left = left >= 0;
+    const bool can_right = right < static_cast<std::ptrdiff_t>(order.size());
+    if (!can_left && !can_right) break;
+    if (!can_right ||
+        (can_left && x0 - x[order[static_cast<std::size_t>(left)]] <=
+                         x[order[static_cast<std::size_t>(right)]] - x0)) {
+      nbrs.push_back(order[static_cast<std::size_t>(left--)]);
+    } else {
+      nbrs.push_back(order[static_cast<std::size_t>(right++)]);
+    }
+  }
+
+  double dmax = 0.0;
+  for (const std::size_t i : nbrs) dmax = std::max(dmax, std::abs(x[i] - x0));
+  if (dmax <= 0.0) dmax = 1.0;  // all neighbours at x0: uniform weights
+
+  // Weighted linear regression y = a + b (x − x0); the intercept a is the
+  // smoothed value at x0.
+  double sw = 0, swx = 0, swy = 0, swxx = 0, swxy = 0;
+  for (const std::size_t i : nbrs) {
+    const double w = tricube((x[i] - x0) / dmax);
+    const double dx = x[i] - x0;
+    sw += w;
+    swx += w * dx;
+    swy += w * y[i];
+    swxx += w * dx * dx;
+    swxy += w * dx * y[i];
+  }
+  if (sw <= 0.0) return 0.0;
+  const double det = sw * swxx - swx * swx;
+  if (std::abs(det) < 1e-12) return swy / sw;  // degenerate: weighted mean
+  return (swxx * swy - swx * swxy) / det;
+}
+
+}  // namespace
+
+std::vector<LoessPoint> loess(std::span<const double> x, std::span<const double> y,
+                              const LoessConfig& config) {
+  DECLOUD_EXPECTS(x.size() == y.size());
+  DECLOUD_EXPECTS(config.span > 0.0 && config.span <= 1.0);
+  if (x.empty()) return {};
+
+  std::vector<std::size_t> order(x.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+
+  const std::size_t k =
+      std::max<std::size_t>(2, static_cast<std::size_t>(std::ceil(config.span * static_cast<double>(x.size()))));
+
+  std::vector<double> eval_xs;
+  if (config.grid_points > 0) {
+    const double xmin = x[order.front()];
+    const double xmax = x[order.back()];
+    for (std::size_t i = 0; i < config.grid_points; ++i) {
+      const double t = (config.grid_points == 1)
+                           ? 0.5
+                           : static_cast<double>(i) / static_cast<double>(config.grid_points - 1);
+      eval_xs.push_back(xmin + t * (xmax - xmin));
+    }
+  } else {
+    for (const std::size_t i : order) eval_xs.push_back(x[i]);
+  }
+
+  std::vector<LoessPoint> out;
+  out.reserve(eval_xs.size());
+  for (const double x0 : eval_xs) {
+    out.push_back({x0, local_fit(x, y, order, std::min(k, x.size()), x0)});
+  }
+  return out;
+}
+
+}  // namespace decloud::stats

@@ -1,0 +1,33 @@
+// LOESS (locally weighted linear regression) smoother.
+//
+// Figures 5a/5b of the paper plot Loess trend curves over the raw welfare
+// scatter; this is the same smoother (tricube kernel, degree-1 local fits,
+// span given as the fraction of points in each local neighbourhood).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace decloud::stats {
+
+/// One smoothed point.
+struct LoessPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// LOESS smoother configuration.
+struct LoessConfig {
+  /// Fraction of the data used in each local regression, in (0, 1].
+  double span = 0.5;
+  /// Number of evaluation points placed uniformly across the x-range.
+  /// When 0, the smoother evaluates at every input x instead.
+  std::size_t grid_points = 0;
+};
+
+/// Computes the LOESS curve of y over x.  Points need not be sorted.
+/// Degenerate neighbourhoods (all x equal) fall back to the weighted mean.
+[[nodiscard]] std::vector<LoessPoint> loess(std::span<const double> x, std::span<const double> y,
+                                            const LoessConfig& config = {});
+
+}  // namespace decloud::stats

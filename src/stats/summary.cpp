@@ -1,0 +1,49 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace decloud::stats {
+
+void Accumulator::add(double sample) {
+  if (n_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++n_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (sample - mean_);
+}
+
+double Accumulator::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> samples, double q) {
+  DECLOUD_EXPECTS(q >= 0.0 && q <= 1.0);
+  DECLOUD_EXPECTS(!samples.empty());
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const double s : samples) total += s;
+  return total / static_cast<double>(samples.size());
+}
+
+}  // namespace decloud::stats

@@ -1,0 +1,36 @@
+// Summary statistics for benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace decloud::stats {
+
+/// Streaming mean/variance (Welford's algorithm) plus min/max.
+class Accumulator {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n−1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation; `q` in [0, 1].  Copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> samples, double q);
+
+/// Arithmetic mean; 0 for empty input.
+[[nodiscard]] double mean(std::span<const double> samples);
+
+}  // namespace decloud::stats

@@ -1,0 +1,59 @@
+#include "trace/ec2_catalog.hpp"
+
+#include <array>
+
+#include "common/ensure.hpp"
+
+namespace decloud::trace {
+
+namespace {
+
+// 2018 us-east-1 Linux on-demand pricing; disk sized as typical gp2 roots
+// plus data volumes scaled with the instance.
+constexpr std::array<InstanceType, 4> kM5Family = {{
+    {.name = "m5.large", .vcpus = 2, .memory_gb = 8, .disk_gb = 64, .price_per_hour = 0.096},
+    {.name = "m5.xlarge", .vcpus = 4, .memory_gb = 16, .disk_gb = 128, .price_per_hour = 0.192},
+    {.name = "m5.2xlarge", .vcpus = 8, .memory_gb = 32, .disk_gb = 256, .price_per_hour = 0.384},
+    {.name = "m5.4xlarge", .vcpus = 16, .memory_gb = 64, .disk_gb = 512, .price_per_hour = 0.768},
+}};
+
+}  // namespace
+
+std::span<const InstanceType> m5_family() { return kM5Family; }
+
+auction::Offer Ec2OfferFactory::make_offer(OfferId id, ProviderId provider, Time submitted,
+                                           Rng& rng) const {
+  std::size_t index = 0;
+  if (config_.type_weights.empty()) {
+    index = static_cast<std::size_t>(rng.next_below(kM5Family.size()));
+  } else {
+    DECLOUD_EXPECTS_MSG(config_.type_weights.size() == kM5Family.size(),
+                        "type_weights must match the catalog size");
+    index = rng.weighted_index(config_.type_weights);
+  }
+  return make_offer_of_type(id, provider, submitted, kM5Family[index], rng);
+}
+
+auction::Offer Ec2OfferFactory::make_offer_of_type(OfferId id, ProviderId provider,
+                                                   Time submitted, const InstanceType& type,
+                                                   Rng& rng) const {
+  DECLOUD_EXPECTS(config_.window_length > 0);
+  auction::Offer o;
+  o.id = id;
+  o.provider = provider;
+  o.submitted = submitted;
+  o.window_start = config_.window_start;
+  o.window_end = config_.window_start + config_.window_length;
+  o.resources.set(auction::ResourceSchema::kCpu, type.vcpus);
+  o.resources.set(auction::ResourceSchema::kMemory, type.memory_gb);
+  o.resources.set(auction::ResourceSchema::kDisk, type.disk_gb);
+
+  const double hours = static_cast<double>(config_.window_length) / 3600.0;
+  const double jitter =
+      config_.cost_spread > 0.0 ? rng.uniform(1.0 - config_.cost_spread, 1.0 + config_.cost_spread)
+                                : 1.0;
+  o.bid = type.price_per_hour * hours * jitter;
+  return o;
+}
+
+}  // namespace decloud::trace

@@ -1,0 +1,72 @@
+// Amazon EC2 M5 instance catalog — the provider side of the paper's
+// evaluation (Section V: "For physical capabilities of providers
+// (processing cores, memory, disk etc.) along with pricing data, we use
+// data from Amazon EC2 M5 instance types.  We set providers' resources in a
+// range between 2-16 CPU cores and 8-64 GB RAM").
+//
+// Prices are the 2018 us-east-1 Linux on-demand rates the paper would have
+// seen.  Disk is modelled as gp2 EBS attached storage sized proportionally
+// to the instance.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "auction/bid.hpp"
+#include "common/rng.hpp"
+
+namespace decloud::trace {
+
+/// One catalog row.
+struct InstanceType {
+  std::string_view name;
+  double vcpus = 0;
+  double memory_gb = 0;
+  double disk_gb = 0;
+  /// USD per hour, 2018 us-east-1 Linux on-demand.
+  double price_per_hour = 0.0;
+};
+
+/// The M5 family within the paper's 2–16 vCPU / 8–64 GB envelope.
+[[nodiscard]] std::span<const InstanceType> m5_family();
+
+/// Samples an instance type uniformly (or by explicit weights) and builds
+/// an Offer priced at price_per_hour × window length, with cost jitter
+/// `cost_spread` (multiplicative uniform in [1−s, 1+s]) so providers are
+/// not perfectly identical.
+/// Offer-factory parameters (top-level so brace-init defaults work as a
+/// default argument).
+struct Ec2OfferConfig {
+  Time window_start = 0;
+  /// Availability window length; default 24 h.
+  Seconds window_length = 24 * 3600;
+  /// Multiplicative cost jitter half-width.
+  double cost_spread = 0.1;
+  /// Per-type sampling weights (empty = uniform over the family).
+  std::vector<double> type_weights;
+};
+
+class Ec2OfferFactory {
+ public:
+  using Config = Ec2OfferConfig;
+
+  explicit Ec2OfferFactory(Config config = {}) : config_(std::move(config)) {}
+
+  /// Builds one offer.  `id`/`provider`/`submitted` are caller-assigned.
+  [[nodiscard]] auction::Offer make_offer(OfferId id, ProviderId provider,
+                                          Time submitted, Rng& rng) const;
+
+  /// Builds an offer of a specific catalog row (no sampling).
+  [[nodiscard]] auction::Offer make_offer_of_type(OfferId id, ProviderId provider,
+                                                  Time submitted,
+                                                  const InstanceType& type, Rng& rng) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace decloud::trace

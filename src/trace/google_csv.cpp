@@ -1,0 +1,92 @@
+#include "trace/google_csv.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace decloud::trace {
+
+namespace {
+
+/// Splits a CSV line; no quoting support (the trace schema has none).
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) out.push_back(field);
+  return out;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(s, &pos);
+    // Allow trailing spaces only.
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\r')) ++pos;
+    return pos == s.size() && std::isfinite(out);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+double cap(double v, double limit) { return limit > 0.0 ? std::min(v, limit) : v; }
+
+}  // namespace
+
+CsvLoadResult load_google_csv(std::istream& in, const CsvOptions& options) {
+  CsvLoadResult result;
+  std::string line;
+  std::size_t line_no = 0;
+  std::uint64_t next_id = options.first_request_id;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+
+    const auto fields = split_fields(line);
+    if (fields.size() != 6) {
+      result.errors.push_back("line " + std::to_string(line_no) + ": expected 6 fields, got " +
+                              std::to_string(fields.size()));
+      continue;
+    }
+    double submit = 0;
+    double client = 0;
+    double cpu = 0;
+    double mem = 0;
+    double disk = 0;
+    double duration = 0;
+    if (!parse_double(fields[0], submit) || !parse_double(fields[1], client) ||
+        !parse_double(fields[2], cpu) || !parse_double(fields[3], mem) ||
+        !parse_double(fields[4], disk) || !parse_double(fields[5], duration)) {
+      result.errors.push_back("line " + std::to_string(line_no) + ": non-numeric field");
+      continue;
+    }
+    if (cpu <= 0.0 || mem < 0.0 || disk < 0.0 || duration <= 0.0 || client < 0.0 ||
+        submit < 0.0) {
+      result.errors.push_back("line " + std::to_string(line_no) + ": out-of-domain value");
+      continue;
+    }
+
+    auction::Request r;
+    r.id = RequestId(next_id++);
+    r.client = ClientId(static_cast<std::uint64_t>(client));
+    r.submitted = static_cast<Time>(submit);
+    r.resources.set(auction::ResourceSchema::kCpu, cap(cpu, options.max_cpu));
+    if (mem > 0.0) r.resources.set(auction::ResourceSchema::kMemory, cap(mem, options.max_memory_gb));
+    if (disk > 0.0) r.resources.set(auction::ResourceSchema::kDisk, cap(disk, options.max_disk_gb));
+    r.duration = std::max<Seconds>(1, static_cast<Seconds>(duration));
+    r.window_start = r.submitted;
+    r.window_end = r.window_start + static_cast<Time>(std::ceil(
+                                        static_cast<double>(r.duration) * options.window_slack));
+    r.bid = 0.0;  // priced by the valuation model
+    result.requests.push_back(std::move(r));
+  }
+  return result;
+}
+
+CsvLoadResult load_google_csv(const std::string& text, const CsvOptions& options) {
+  std::istringstream in(text);
+  return load_google_csv(in, options);
+}
+
+}  // namespace decloud::trace

@@ -1,0 +1,46 @@
+#include "trace/google_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decloud::trace {
+
+auction::Request GoogleTraceGenerator::make_request(RequestId id, ClientId client, Time submitted,
+                                                    Rng& rng) const {
+  auction::Request r;
+  r.id = id;
+  r.client = client;
+  r.submitted = submitted;
+
+  double cpu = 0.0;
+  double mem = 0.0;
+  if (rng.bernoulli(config_.large_task_fraction)) {
+    // Large tasks: near machine-sized, the far tail of the trace.
+    cpu = rng.uniform(0.5 * config_.max_cpu, config_.max_cpu);
+    mem = rng.uniform(0.5 * config_.max_memory_gb, config_.max_memory_gb);
+  } else {
+    cpu = rng.lognormal(config_.cpu_log_mean, config_.cpu_log_sigma);
+    const double mem_per_cpu =
+        rng.lognormal(config_.mem_per_cpu_log_mean, config_.mem_per_cpu_log_sigma);
+    mem = cpu * mem_per_cpu;  // shared factor induces the CPU↔RAM correlation
+  }
+  double disk = rng.lognormal(config_.disk_log_mean, config_.disk_log_sigma);
+
+  cpu = std::clamp(cpu, 0.1, config_.max_cpu);
+  mem = std::clamp(mem, 0.25, config_.max_memory_gb);
+  disk = std::clamp(disk, 1.0, config_.max_disk_gb);
+
+  r.resources.set(auction::ResourceSchema::kCpu, cpu);
+  r.resources.set(auction::ResourceSchema::kMemory, mem);
+  r.resources.set(auction::ResourceSchema::kDisk, disk);
+
+  const double dur = rng.lognormal(config_.duration_log_mean, config_.duration_log_sigma);
+  r.duration = std::max<Seconds>(config_.min_duration, static_cast<Seconds>(dur));
+  r.window_start = 0;
+  r.window_end =
+      static_cast<Time>(std::ceil(static_cast<double>(r.duration) * config_.window_slack));
+  r.bid = 0.0;  // priced by the valuation model
+  return r;
+}
+
+}  // namespace decloud::trace

@@ -1,0 +1,73 @@
+// Synthetic Google-cluster-style request generator.
+//
+// The paper drives the client side with the Google cluster-usage trace
+// (CPU, RAM and disk columns).  The original 2011 trace is not
+// redistributable inside this repository, so this module synthesizes
+// requests whose marginals match the published shape of that trace
+// (Reiss et al., "Google cluster-usage traces: format + schema", and the
+// companion analysis papers):
+//
+//   * resource requests are heavy-tailed — most tasks are tiny, a few are
+//     near machine-sized: modelled as a lognormal body with a small uniform
+//     "large task" mixture;
+//   * CPU and memory are positively correlated (ρ ≈ 0.5 in the trace):
+//     modelled with a shared lognormal factor;
+//   * task durations are heavy-tailed with a median of minutes and a long
+//     hour-scale tail: lognormal in log-seconds.
+//
+// Amounts are expressed in the paper's provider units (cores / GB) so they
+// compose directly with the EC2 M5 catalog (2–16 cores, 8–64 GB).
+// See DESIGN.md §5 for the substitution rationale.
+#pragma once
+
+#include "auction/bid.hpp"
+#include "common/rng.hpp"
+
+namespace decloud::trace {
+
+/// Generator configuration.  Defaults give the trace-like shape scaled to
+/// the M5 envelope.
+struct GoogleTraceConfig {
+  /// Lognormal parameters of the shared "task size" factor (in cores).
+  double cpu_log_mean = 0.3;   // median ≈ 1.35 cores
+  double cpu_log_sigma = 0.8;  // heavy tail
+  /// Memory per core (GB), lognormal around ~3.5 GB/core with spread.
+  double mem_per_cpu_log_mean = 1.25;
+  double mem_per_cpu_log_sigma = 0.4;
+  /// Disk demand (GB), lognormal, weakly coupled to task size.
+  double disk_log_mean = 2.5;  // median ≈ 12 GB
+  double disk_log_sigma = 1.0;
+  /// Fraction of "large" tasks drawn uniformly near machine size.
+  double large_task_fraction = 0.05;
+  /// Duration d_r (seconds): lognormal, median ≈ 30 min, hour-scale tail.
+  double duration_log_mean = 7.5;
+  double duration_log_sigma = 0.9;
+  /// Hard caps matching the largest provider (m5.4xlarge).
+  double max_cpu = 16.0;
+  double max_memory_gb = 64.0;
+  double max_disk_gb = 512.0;
+  /// Minimum duration and window slack.
+  Seconds min_duration = 60;
+  /// Service window = duration × window_slack (window start at 0).
+  double window_slack = 1.5;
+};
+
+/// Draws synthetic requests with trace-like marginals.  Bids are set to 0;
+/// the valuation model (ValuationModel in workload.hpp) prices them against
+/// the offer pool as the paper prescribes.
+class GoogleTraceGenerator {
+ public:
+  explicit GoogleTraceGenerator(GoogleTraceConfig config = {}) : config_(config) {}
+
+  /// Generates one request (resources, duration, window).  `id`, `client`
+  /// and `submitted` are caller-assigned.
+  [[nodiscard]] auction::Request make_request(RequestId id, ClientId client, Time submitted,
+                                              Rng& rng) const;
+
+  [[nodiscard]] const GoogleTraceConfig& config() const { return config_; }
+
+ private:
+  GoogleTraceConfig config_;
+};
+
+}  // namespace decloud::trace

@@ -1,0 +1,81 @@
+#include "trace/kl_shaper.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "stats/kl_divergence.hpp"
+
+namespace decloud::trace {
+
+ShapedMarket make_shaped_market(const KlShaperConfig& config,
+                                const auction::AuctionConfig& auction_config, double lambda,
+                                Rng& rng) {
+  DECLOUD_EXPECTS(lambda >= 0.0 && lambda <= 1.0);
+  const auto family = m5_family();
+  DECLOUD_EXPECTS(config.offer_distribution.size() == family.size());
+  DECLOUD_EXPECTS(config.shifted_class < family.size());
+
+  // Request-side class distribution: base pushed toward the shifted class.
+  std::vector<double> request_dist(family.size());
+  for (std::size_t k = 0; k < family.size(); ++k) {
+    const double shifted = (k == config.shifted_class) ? 1.0 : 0.0;
+    request_dist[k] = (1.0 - lambda) * config.offer_distribution[k] + lambda * shifted;
+  }
+
+  ShapedMarket out;
+  const Ec2OfferFactory factory(config.ec2);
+  const auto num_clients = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(static_cast<double>(config.num_requests) /
+                                               config.requests_per_client)));
+  const auto num_providers = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(static_cast<double>(config.num_offers) /
+                                               config.offers_per_provider)));
+
+  // Sample offers from the base distribution, counting realized classes.
+  std::vector<double> offer_counts(family.size(), 0.0);
+  for (std::size_t i = 0; i < config.num_offers; ++i) {
+    const std::size_t k = rng.weighted_index(config.offer_distribution);
+    offer_counts[k] += 1.0;
+    out.snapshot.offers.push_back(factory.make_offer_of_type(
+        OfferId(i), ProviderId(i % num_providers), static_cast<Time>(i), family[k], rng));
+  }
+
+  // Sample requests sized to their class (load factor < 1 so several fit).
+  const GoogleTraceGenerator duration_gen(config.trace);
+  std::vector<double> request_counts(family.size(), 0.0);
+  for (std::size_t i = 0; i < config.num_requests; ++i) {
+    const std::size_t k = rng.weighted_index(request_dist);
+    request_counts[k] += 1.0;
+    const InstanceType& t = family[k];
+
+    auction::Request r;
+    r.id = RequestId(i);
+    r.client = ClientId(i % num_clients);
+    r.submitted = static_cast<Time>(i);
+    const double load = rng.uniform(0.5, 1.0);  // fraction of the class the task pins
+    r.resources.set(auction::ResourceSchema::kCpu, t.vcpus * load);
+    r.resources.set(auction::ResourceSchema::kMemory, t.memory_gb * load);
+    r.resources.set(auction::ResourceSchema::kDisk, t.disk_gb * load * 0.5);
+    const double sig = std::clamp(config.request_significance, 1e-6, 1.0);
+    r.significance.set(auction::ResourceSchema::kCpu, sig);
+    r.significance.set(auction::ResourceSchema::kMemory, sig);
+    r.significance.set(auction::ResourceSchema::kDisk, sig);
+
+    const double dur =
+        rng.lognormal(config.trace.duration_log_mean, config.trace.duration_log_sigma);
+    r.duration = std::max<Seconds>(config.trace.min_duration, static_cast<Seconds>(dur));
+    r.window_start = 0;
+    r.window_end =
+        static_cast<Time>(std::ceil(static_cast<double>(r.duration) * config.trace.window_slack));
+    out.snapshot.requests.push_back(std::move(r));
+  }
+
+  assign_valuations(out.snapshot, auction_config, config.valuation, rng);
+
+  out.kl_divergence = stats::kl_divergence(request_counts, offer_counts);
+  out.similarity = std::clamp(1.0 - out.kl_divergence, 0.0, 1.0);
+  return out;
+}
+
+}  // namespace decloud::trace

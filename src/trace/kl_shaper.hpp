@@ -1,0 +1,66 @@
+// Divergence-controlled workload shaper — the generator behind the
+// flexibility experiments (Fig. 5d–5f).
+//
+// The paper: "we generated sets of offers and requests distributions with
+// various degrees of Kullback-Leibler divergence, e.g., when clients want
+// mostly 8 core CPUs, the majority of offered CPUs have only 2 cores", with
+// the similarity axis computed as 1 − KLD(R^β, O^β) over resources.
+//
+// We realize this by sampling both sides from categorical distributions
+// over the EC2 M5 size classes: offers from a base distribution, requests
+// from a mixture (1 − λ)·base + λ·shifted, where `shifted` concentrates
+// demand on the opposite end of the size spectrum.  λ = 0 gives identical
+// distributions (similarity 1); growing λ walks the market toward maximal
+// mismatch.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "auction/config.hpp"
+#include "trace/workload.hpp"
+
+namespace decloud::trace {
+
+/// One shaped market with its measured divergence.
+struct ShapedMarket {
+  auction::MarketSnapshot snapshot;
+  /// KLD(request distribution ‖ offer distribution) over CPU size classes,
+  /// measured on the actually sampled population.
+  double kl_divergence = 0.0;
+  /// The paper's similarity axis: 1 − KLD, clamped to [0, 1].
+  double similarity = 0.0;
+};
+
+struct KlShaperConfig {
+  std::size_t num_requests = 200;
+  std::size_t num_offers = 100;
+  double requests_per_client = 2.0;
+  double offers_per_provider = 2.0;
+  /// Base (offer-side) distribution over the M5 size classes
+  /// (large … 4xlarge).  Defaults to mild small-instance skew, like public
+  /// clouds.
+  std::vector<double> offer_distribution = {0.4, 0.3, 0.2, 0.1};
+  /// Demand concentration target: requests pile onto this size class as
+  /// divergence grows.
+  std::size_t shifted_class = 3;
+  ValuationConfig valuation;
+  Ec2OfferFactory::Config ec2;
+  /// Request duration parameters (reuses the Google-style duration model).
+  GoogleTraceConfig trace;
+  /// Significance σ assigned to the generated requests' resources.  Values
+  /// below 1 make them *flexible* — eligible for the AuctionConfig
+  /// flexibility relaxation; σ = 1 pins them strict regardless of the
+  /// market flexibility (the client always gets 100 % of the request).
+  double request_significance = 0.8;
+};
+
+/// Builds a market whose request/offer size distributions diverge by
+/// mixing parameter `lambda` ∈ [0, 1].  Requests are sized to *fit* their
+/// target class exactly (CPU/RAM of the class, fractional load factor), so
+/// mismatch manifests as demand for classes the offer side rarely carries.
+[[nodiscard]] ShapedMarket make_shaped_market(const KlShaperConfig& config,
+                                              const auction::AuctionConfig& auction_config,
+                                              double lambda, Rng& rng);
+
+}  // namespace decloud::trace

@@ -1,0 +1,208 @@
+// Ablation switches of the mechanism: mini-auction grouping on/off and
+// reputation-gated admission.
+#include <gtest/gtest.h>
+
+#include "auction/mechanism.hpp"
+#include "auction/feasibility.hpp"
+#include "auction/verify.hpp"
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace decloud::auction {
+namespace {
+
+using test::OfferBuilder;
+using test::RequestBuilder;
+
+MarketSnapshot random_market(std::uint64_t seed, std::size_t n_req, std::size_t n_off) {
+  Rng rng(seed);
+  MarketSnapshot s;
+  for (std::uint64_t i = 0; i < n_req; ++i) {
+    s.requests.push_back(RequestBuilder(i)
+                             .client(i / 2)
+                             .cpu(rng.uniform(0.5, 3.0))
+                             .memory(rng.uniform(1.0, 12.0))
+                             .disk(rng.uniform(2.0, 60.0))
+                             .bid(rng.uniform(0.1, 2.5))
+                             .build());
+  }
+  for (std::uint64_t i = 0; i < n_off; ++i) {
+    s.offers.push_back(OfferBuilder(i).provider(i / 2).bid(rng.uniform(0.3, 1.5)).build());
+  }
+  return s;
+}
+
+TEST(MiniAuctionAblation, UngroupedModeStillSatisfiesInvariants) {
+  AuctionConfig cfg;
+  cfg.group_mini_auctions = false;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const MarketSnapshot s = random_market(seed, 30, 12);
+    const RoundResult r = DeCloudAuction(cfg).run(s, seed);
+    const auto report = verify_invariants(s, r, cfg);
+    EXPECT_TRUE(report.ok()) << (report.ok() ? "" : report.violations.front());
+  }
+}
+
+TEST(MiniAuctionAblation, GroupingNeverLosesTradesOnAverage) {
+  // The whole point of Algorithm 3: sharing one price across compatible
+  // clusters amortizes trade reduction.  Across a sample of markets the
+  // grouped variant must retain at least as many trades in total.
+  AuctionConfig grouped;
+  AuctionConfig ungrouped;
+  ungrouped.group_mini_auctions = false;
+
+  std::size_t grouped_matches = 0;
+  std::size_t ungrouped_matches = 0;
+  std::size_t grouped_reduced = 0;
+  std::size_t ungrouped_reduced = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const MarketSnapshot s = random_market(seed * 101, 40, 16);
+    const RoundResult rg = DeCloudAuction(grouped).run(s, seed);
+    const RoundResult ru = DeCloudAuction(ungrouped).run(s, seed);
+    grouped_matches += rg.matches.size();
+    ungrouped_matches += ru.matches.size();
+    grouped_reduced += rg.reduced_trades;
+    ungrouped_reduced += ru.reduced_trades;
+  }
+  EXPECT_GE(grouped_matches, ungrouped_matches);
+  EXPECT_LE(grouped_reduced, ungrouped_reduced);
+}
+
+TEST(MiniAuctionAblation, UngroupedIsDeterministicToo) {
+  AuctionConfig cfg;
+  cfg.group_mini_auctions = false;
+  const MarketSnapshot s = random_market(3, 20, 8);
+  const RoundResult a = DeCloudAuction(cfg).run(s, 9);
+  const RoundResult b = DeCloudAuction(cfg).run(s, 9);
+  ASSERT_EQ(a.matches.size(), b.matches.size());
+  EXPECT_DOUBLE_EQ(a.welfare, b.welfare);
+}
+
+/// Segmented market: S regions with strict region resources, so clusters
+/// form per region and the mini-auction machinery is genuinely exercised
+/// (homogeneous markets collapse into one cluster; see
+/// bench/ablation_miniauction.cpp).
+MarketSnapshot segmented_market(std::size_t segments, std::uint64_t seed,
+                                ResourceSchema& schema) {
+  Rng rng(seed);
+  MarketSnapshot s;
+  std::uint64_t rid = 0;
+  std::uint64_t oid = 0;
+  for (std::size_t seg = 0; seg < segments; ++seg) {
+    const auto region = schema.intern("region" + std::to_string(seg));
+    const double level = 1.0 + 0.25 * static_cast<double>(seg);
+    for (std::size_t i = 0; i < 3; ++i) {
+      Offer o = OfferBuilder(oid).provider(oid).bid(level * rng.uniform(0.3, 0.8)).build();
+      o.resources.set(region, 1.0);
+      o.submitted = static_cast<Time>(oid++);
+      s.offers.push_back(std::move(o));
+    }
+    for (std::size_t i = 0; i < 6; ++i) {
+      Request r = RequestBuilder(rid).client(rid).bid(level * rng.uniform(0.02, 0.2)).build();
+      r.resources.set(region, 1.0);
+      r.submitted = static_cast<Time>(rid++);
+      s.requests.push_back(std::move(r));
+    }
+  }
+  return s;
+}
+
+/// Like segmented_market but with price levels so far apart that the
+/// segments' clusters are price-INcompatible: each becomes its own root.
+MarketSnapshot tiered_market(std::size_t segments, std::uint64_t seed, ResourceSchema& schema) {
+  MarketSnapshot s = segmented_market(segments, seed, schema);
+  // Rescale each segment's bids by 100^segment.
+  for (auto& r : s.requests) {
+    const std::size_t seg = r.id.value() / 6;
+    double scale = 1.0;
+    for (std::size_t k = 0; k < seg; ++k) scale *= 100.0;
+    r.bid *= scale;
+  }
+  for (auto& o : s.offers) {
+    const std::size_t seg = o.id.value() / 3;
+    double scale = 1.0;
+    for (std::size_t k = 0; k < seg; ++k) scale *= 100.0;
+    o.bid *= scale;
+  }
+  return s;
+}
+
+TEST(MiniAuctionAblation, SegmentedMarketsFormManyClustersAndStaySound) {
+  ResourceSchema schema;
+  const MarketSnapshot s = tiered_market(6, 11, schema);
+  AuctionConfig cfg;
+  const RoundResult r = DeCloudAuction(cfg).run(s, 3);
+  // Price-incompatible tiers clear in independent mini-auctions.
+  EXPECT_GE(r.clearing_prices.size(), 2u);
+  const auto report = verify_invariants(s, r, cfg);
+  EXPECT_TRUE(report.ok()) << (report.ok() ? "" : report.violations.front());
+}
+
+TEST(MiniAuctionAblation, GroupingBeatsUngroupedOnSegmentedMarkets) {
+  AuctionConfig grouped;
+  AuctionConfig ungrouped;
+  ungrouped.group_mini_auctions = false;
+  std::size_t grouped_matches = 0;
+  std::size_t ungrouped_matches = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ResourceSchema schema;
+    const MarketSnapshot s = segmented_market(8, seed, schema);
+    grouped_matches += DeCloudAuction(grouped).run(s, seed).matches.size();
+    ungrouped_matches += DeCloudAuction(ungrouped).run(s, seed).matches.size();
+  }
+  EXPECT_GT(grouped_matches, ungrouped_matches);
+}
+
+TEST(ReputationAdmission, LowReputationClientIsInfeasibleForGatedOffer) {
+  Offer gated = OfferBuilder(0).bid(0.1).build();
+  gated.min_reputation = 0.7;
+  Request trusted = RequestBuilder(0).bid(2.0).build();
+  trusted.reputation = 0.9;
+  Request shady = RequestBuilder(1).client(1).bid(2.0).build();
+  shady.reputation = 0.4;
+
+  AuctionConfig cfg;
+  EXPECT_TRUE(feasible(gated, trusted, cfg));
+  EXPECT_FALSE(feasible(gated, shady, cfg));
+}
+
+TEST(ReputationAdmission, GatedOfferNeverMatchesShadyClient) {
+  MarketSnapshot s;
+  Request shady = RequestBuilder(0).bid(5.0).build();
+  shady.reputation = 0.2;
+  s.requests.push_back(shady);
+  Offer gated = OfferBuilder(0).bid(0.1).build();
+  gated.min_reputation = 0.5;
+  s.offers.push_back(gated);
+  Offer open_offer = OfferBuilder(1).provider(1).bid(0.2).build();  // accepts anyone
+  s.offers.push_back(open_offer);
+  Offer spare = OfferBuilder(2).provider(2).bid(0.3).build();
+  s.offers.push_back(spare);
+
+  const RoundResult r = DeCloudAuction{}.run(s, 4);
+  for (const Match& m : r.matches) {
+    EXPECT_NE(m.offer, 0u) << "gated offer matched a below-threshold client";
+  }
+  // The open offer can still serve it.
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_EQ(r.matches[0].offer, 1u);
+}
+
+TEST(ReputationAdmission, DefaultsAdmitEveryone) {
+  const Offer o = OfferBuilder(0).build();       // min_reputation = 0
+  const Request r = RequestBuilder(0).build();   // reputation = 1
+  EXPECT_TRUE(feasible(o, r, AuctionConfig{}));
+}
+
+TEST(ReputationAdmission, NegativeValuesRejectedByValidation) {
+  Request r = RequestBuilder(0).build();
+  r.reputation = -0.1;
+  EXPECT_THROW(validate(r), precondition_error);
+  Offer o = OfferBuilder(0).build();
+  o.min_reputation = -1.0;
+  EXPECT_THROW(validate(o), precondition_error);
+}
+
+}  // namespace
+}  // namespace decloud::auction

@@ -1,0 +1,136 @@
+#include "auction/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+#include "test_helpers.hpp"
+
+namespace decloud::auction {
+namespace {
+
+using test::OfferBuilder;
+using test::RequestBuilder;
+
+TEST(ResourceFraction, HandComputedEq6) {
+  // φ = (d_r / span) · mean_k(ρ_rk / ρ_ok)
+  //   = (3600 / 7200) · mean(1/4, 4/16, 25/100) = 0.5 · 0.25 = 0.125
+  const Request r = RequestBuilder(0).cpu(1).memory(4).disk(25).duration(3600).build();
+  const Offer o = OfferBuilder(0).cpu(4).memory(16).disk(100).window(0, 7200).build();
+  EXPECT_NEAR(resource_fraction(r, o), 0.125, 1e-12);
+}
+
+TEST(ResourceFraction, GrantedAmountCappedAtCapacity) {
+  // Flexible request nominally above capacity: the granted share per
+  // resource is min(ρ_r, ρ_o)/ρ_o = 1, not > 1.
+  Request r = RequestBuilder(0).cpu(8).duration(3600)
+                  .significance(ResourceSchema::kCpu, 0.5).build();
+  r.resources = ResourceVector{};
+  r.resources.set(ResourceSchema::kCpu, 8.0);
+  Offer o = OfferBuilder(0).window(0, 3600).build();
+  o.resources = ResourceVector{};
+  o.resources.set(ResourceSchema::kCpu, 4.0);
+  EXPECT_NEAR(resource_fraction(r, o), 1.0, 1e-12);
+}
+
+TEST(ResourceFraction, ZeroWhenNoCommonTypes) {
+  ResourceSchema schema;
+  const ResourceId gpu = schema.intern("gpu");
+  Request r = RequestBuilder(0).build();
+  r.resources = ResourceVector{};
+  r.resources.set(gpu, 1.0);
+  const Offer o = OfferBuilder(0).build();
+  EXPECT_DOUBLE_EQ(resource_fraction(r, o), 0.0);
+}
+
+TEST(ResourceFraction, TimeShareClamped) {
+  // Duration exceeding the offer window clamps the time share at 1.
+  Request r = RequestBuilder(0).window(0, 7200).duration(7200).cpu(4).memory(16).disk(100).build();
+  const Offer o = OfferBuilder(0).window(0, 3600).build();
+  EXPECT_LE(resource_fraction(r, o), 1.0);
+}
+
+TEST(MatchWelfare, ValuationMinusFractionCost) {
+  const Request r = RequestBuilder(0).cpu(1).memory(4).disk(25).duration(3600).bid(2.0).build();
+  const Offer o = OfferBuilder(0).cpu(4).memory(16).disk(100).window(0, 7200).bid(4.0).build();
+  // φ = 0.125 (above) → welfare = 2.0 − 0.125·4 = 1.5.
+  EXPECT_NEAR(match_welfare(r, o), 1.5, 1e-12);
+}
+
+TEST(RoundResult, SatisfactionAndReducedRatio) {
+  RoundResult r;
+  r.matches.resize(3);
+  EXPECT_DOUBLE_EQ(r.satisfaction(10), 0.3);
+  EXPECT_DOUBLE_EQ(r.satisfaction(0), 0.0);
+  r.tentative_trades = 4;
+  r.reduced_trades = 1;
+  EXPECT_DOUBLE_EQ(r.reduced_trade_ratio(), 0.25);
+  r.tentative_trades = 0;
+  EXPECT_DOUBLE_EQ(r.reduced_trade_ratio(), 0.0);
+}
+
+TEST(CapacityTracker, StartsAtOfferCapacity) {
+  const std::vector<Offer> offers = {OfferBuilder(0).cpu(4).build()};
+  CapacityTracker cap(offers);
+  EXPECT_DOUBLE_EQ(cap.remaining(0).get(ResourceSchema::kCpu), 4.0);
+}
+
+TEST(CapacityTracker, ConsumeReducesAndReleasesRestores) {
+  const std::vector<Offer> offers = {OfferBuilder(0).cpu(4).memory(16).disk(100).build()};
+  CapacityTracker cap(offers);
+  const Request r = RequestBuilder(0).cpu(1).memory(4).disk(10).build();
+
+  const ResourceVector consumed = cap.consume(0, r);
+  EXPECT_DOUBLE_EQ(cap.remaining(0).get(ResourceSchema::kCpu), 3.0);
+  EXPECT_DOUBLE_EQ(cap.remaining(0).get(ResourceSchema::kMemory), 12.0);
+  EXPECT_DOUBLE_EQ(consumed.get(ResourceSchema::kCpu), 1.0);
+
+  cap.release(0, consumed);
+  EXPECT_DOUBLE_EQ(cap.remaining(0).get(ResourceSchema::kCpu), 4.0);
+  EXPECT_DOUBLE_EQ(cap.remaining(0).get(ResourceSchema::kMemory), 16.0);
+  EXPECT_DOUBLE_EQ(cap.remaining(0).get(ResourceSchema::kDisk), 100.0);
+}
+
+TEST(CapacityTracker, ConsumeCapsAtRemaining) {
+  const std::vector<Offer> offers = {OfferBuilder(0).cpu(4).build()};
+  CapacityTracker cap(offers);
+  Request big = RequestBuilder(0).build();
+  big.resources = ResourceVector{};
+  big.resources.set(ResourceSchema::kCpu, 10.0);
+  const ResourceVector consumed = cap.consume(0, big);
+  EXPECT_DOUBLE_EQ(consumed.get(ResourceSchema::kCpu), 4.0);  // capped
+  EXPECT_DOUBLE_EQ(cap.remaining(0).get(ResourceSchema::kCpu), 0.0);
+}
+
+TEST(CapacityTracker, CanHostRespectsStrictAndFlexible) {
+  const std::vector<Offer> offers = {OfferBuilder(0).cpu(4).memory(16).disk(100).build()};
+  CapacityTracker cap(offers);
+  const Request strict = RequestBuilder(0).cpu(5).build();
+  EXPECT_FALSE(cap.can_host(0, strict, 1.0));
+  const Request flexible =
+      RequestBuilder(1).cpu(5).significance(ResourceSchema::kCpu, 0.5).build();
+  EXPECT_TRUE(cap.can_host(0, flexible, 0.8));  // needs 4 ≤ 4
+  EXPECT_FALSE(cap.can_host(0, flexible, 1.0));
+}
+
+TEST(CapacityTracker, SequentialPackingUntilFull) {
+  const std::vector<Offer> offers = {OfferBuilder(0).cpu(4).memory(16).disk(100).build()};
+  CapacityTracker cap(offers);
+  const Request r = RequestBuilder(0).cpu(2).memory(4).disk(10).build();
+  EXPECT_TRUE(cap.can_host(0, r, 1.0));
+  (void)cap.consume(0, r);
+  EXPECT_TRUE(cap.can_host(0, r, 1.0));
+  (void)cap.consume(0, r);
+  EXPECT_FALSE(cap.can_host(0, r, 1.0));  // CPU exhausted (4 = 2+2)
+}
+
+TEST(CapacityTracker, OutOfRangeOfferThrows) {
+  const std::vector<Offer> offers = {OfferBuilder(0).build()};
+  CapacityTracker cap(offers);
+  const Request r = RequestBuilder(0).build();
+  EXPECT_THROW(cap.can_host(5, r, 1.0), precondition_error);
+  EXPECT_THROW(cap.consume(5, r), precondition_error);
+  EXPECT_THROW(cap.release(5, ResourceVector{}), precondition_error);
+}
+
+}  // namespace
+}  // namespace decloud::auction

@@ -1,0 +1,148 @@
+#include "auction/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+
+namespace decloud::auction {
+namespace {
+
+TEST(SortedHelpers, IsSubset) {
+  EXPECT_TRUE(is_subset({1, 3}, {1, 2, 3}));
+  EXPECT_TRUE(is_subset({}, {1}));
+  EXPECT_TRUE(is_subset({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(is_subset({1, 4}, {1, 2, 3}));
+  EXPECT_FALSE(is_subset({1, 2, 3}, {1, 2}));
+}
+
+TEST(SortedHelpers, IntersectSorted) {
+  EXPECT_EQ(intersect_sorted({1, 2, 3, 5}, {2, 3, 4}), (std::vector<std::size_t>{2, 3}));
+  EXPECT_TRUE(intersect_sorted({1}, {2}).empty());
+}
+
+TEST(SortedHelpers, InsertSortedUnique) {
+  std::vector<std::size_t> v = {1, 3};
+  insert_sorted_unique(v, 2);
+  EXPECT_EQ(v, (std::vector<std::size_t>{1, 2, 3}));
+  insert_sorted_unique(v, 2);  // no duplicate
+  EXPECT_EQ(v, (std::vector<std::size_t>{1, 2, 3}));
+  insert_sorted_unique(v, 0);
+  insert_sorted_unique(v, 9);
+  EXPECT_EQ(v, (std::vector<std::size_t>{0, 1, 2, 3, 9}));
+}
+
+TEST(SortedHelpers, MergeSortedUnique) {
+  std::vector<std::size_t> dst = {1, 3, 5};
+  merge_sorted_unique(dst, {2, 3, 6});
+  EXPECT_EQ(dst, (std::vector<std::size_t>{1, 2, 3, 5, 6}));
+}
+
+TEST(ClusterSet, CreatesClusterForNewBestSet) {
+  ClusterSet cs;
+  cs.update(/*request=*/0, {1, 2});
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs.clusters()[0].offers, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(cs.clusters()[0].requests, (std::vector<std::size_t>{0}));
+}
+
+TEST(ClusterSet, SameBestSetAccumulatesRequests) {
+  ClusterSet cs;
+  cs.update(0, {1, 2});
+  cs.update(5, {1, 2});
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs.clusters()[0].requests, (std::vector<std::size_t>{0, 5}));
+}
+
+TEST(ClusterSet, RequestJoinsSubsetClusters) {
+  // Existing cluster {1} is a subset of the new best set {1,2}: the new
+  // request can be served by offer 1 as well, so it joins that cluster too.
+  ClusterSet cs;
+  cs.update(0, {1});
+  cs.update(7, {1, 2});
+  ASSERT_EQ(cs.size(), 2u);
+  const auto& small = cs.clusters()[0];
+  EXPECT_EQ(small.offers, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(small.requests, (std::vector<std::size_t>{0, 7}));
+}
+
+TEST(ClusterSet, SupersetRequestsPropagateIntoSubsets) {
+  // Cluster {1,2,3} exists with request 0; new request 9 arrives with best
+  // set {1,2} ⊂ {1,2,3}.  Request 0 (served by any of 1,2,3) joins the
+  // finer cluster alongside 9.
+  ClusterSet cs;
+  cs.update(0, {1, 2, 3});
+  cs.update(9, {1, 2});
+  const auto& clusters = cs.clusters();
+  bool found = false;
+  for (const auto& c : clusters) {
+    if (c.offers == std::vector<std::size_t>{1, 2}) {
+      EXPECT_EQ(c.requests, (std::vector<std::size_t>{0, 9}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ClusterSet, PartialOverlapSpawnsIntersectionCluster) {
+  // {1,2,3} then best set {2,3,4}: shared offers {2,3} (> 1) spawn an
+  // intersection cluster holding both requests.
+  ClusterSet cs;
+  cs.update(0, {1, 2, 3});
+  cs.update(4, {2, 3, 4});
+  bool found = false;
+  for (const auto& c : cs.clusters()) {
+    if (c.offers == std::vector<std::size_t>{2, 3}) {
+      EXPECT_EQ(c.requests, (std::vector<std::size_t>{0, 4}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ClusterSet, SingleSharedOfferDoesNotSpawnIntersection) {
+  ClusterSet cs;
+  cs.update(0, {1, 2});
+  cs.update(1, {2, 3});
+  for (const auto& c : cs.clusters()) {
+    EXPECT_NE(c.offers, std::vector<std::size_t>{2});  // |∩| = 1: no new cluster
+  }
+  EXPECT_EQ(cs.size(), 2u);
+}
+
+TEST(ClusterSet, ExistingIntersectionClusterIsExtended) {
+  ClusterSet cs;
+  cs.update(0, {2, 3});        // pre-existing cluster on exactly the intersection
+  cs.update(1, {1, 2, 3});     // subset propagation adds 1 to {2,3}
+  cs.update(5, {2, 3, 4});     // intersection with {1,2,3} is {2,3} → extend it
+  for (const auto& c : cs.clusters()) {
+    if (c.offers == std::vector<std::size_t>{2, 3}) {
+      EXPECT_EQ(c.requests, (std::vector<std::size_t>{0, 1, 5}));
+    }
+  }
+}
+
+TEST(ClusterSet, EmptyBestSetRejected) {
+  ClusterSet cs;
+  EXPECT_THROW(cs.update(0, {}), precondition_error);
+}
+
+TEST(ClusterSet, UnsortedBestSetRejected) {
+  ClusterSet cs;
+  EXPECT_THROW(cs.update(0, {2, 1}), precondition_error);
+}
+
+TEST(ClusterSet, ManyRequestsStaySane) {
+  ClusterSet cs;
+  for (std::size_t r = 0; r < 100; ++r) {
+    cs.update(r, {r % 5, 5 + r % 3});
+  }
+  // Bounded distinct offer-sets → bounded clusters (15 pairs + intersections).
+  EXPECT_LE(cs.size(), 40u);
+  for (const auto& c : cs.clusters()) {
+    EXPECT_TRUE(std::is_sorted(c.requests.begin(), c.requests.end()));
+    EXPECT_TRUE(std::is_sorted(c.offers.begin(), c.offers.end()));
+  }
+}
+
+}  // namespace
+}  // namespace decloud::auction

@@ -1,0 +1,149 @@
+#include "auction/economics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace decloud::auction {
+namespace {
+
+using test::OfferBuilder;
+using test::RequestBuilder;
+
+MarketSnapshot one_pair_snapshot() {
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).cpu(2).memory(8).disk(50).duration(3600).bid(2.0));
+  s.offers.push_back(OfferBuilder(0).cpu(4).memory(16).disk(100).window(0, 7200).bid(1.0));
+  return s;
+}
+
+TEST(Economics, CommonTypesAndVirtualMax) {
+  const MarketSnapshot s = one_pair_snapshot();
+  const Cluster cluster{.offers = {0}, .requests = {0}};
+  const ClusterEconomics econ = compute_economics(cluster, s);
+  EXPECT_EQ(econ.common_types,
+            (std::vector<ResourceId>{ResourceSchema::kCpu, ResourceSchema::kMemory,
+                                     ResourceSchema::kDisk}));
+  // Single offer: M_CL is the offer itself → ‖M‖ = ‖(4,16,100)‖.
+  EXPECT_NEAR(econ.virtual_max_norm, std::sqrt(4.0 * 4 + 16.0 * 16 + 100.0 * 100), 1e-12);
+}
+
+TEST(Economics, OfferNormalization) {
+  const MarketSnapshot s = one_pair_snapshot();
+  const Cluster cluster{.offers = {0}, .requests = {0}};
+  const ClusterEconomics econ = compute_economics(cluster, s);
+  ASSERT_EQ(econ.offers.size(), 1u);
+  // Sole offer spans the virtual max exactly: ν_o = 1.
+  EXPECT_NEAR(econ.offers[0].nu, 1.0, 1e-12);
+  // ĉ = c / (ν · span) = 1.0 / 7200.
+  EXPECT_NEAR(econ.offers[0].chat, 1.0 / 7200.0, 1e-15);
+}
+
+TEST(Economics, RequestCriticalResourceDominates) {
+  // Request pins 100 % of the offer's CPU but little else: ν_r must be the
+  // critical CPU share (1.0), not the small geometric share.
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).cpu(4).memory(1).disk(1).duration(100).bid(5.0));
+  s.offers.push_back(OfferBuilder(0).cpu(4).memory(16).disk(100).window(0, 200).bid(1.0));
+  const Cluster cluster{.offers = {0}, .requests = {0}};
+  const ClusterEconomics econ = compute_economics(cluster, s);
+  ASSERT_EQ(econ.requests.size(), 1u);
+  EXPECT_NEAR(econ.requests[0].nu, 1.0, 1e-12);
+  // v̂ = v / (ν d) = 5 / (1 · 100).
+  EXPECT_NEAR(econ.requests[0].vhat, 0.05, 1e-12);
+}
+
+TEST(Economics, SmallRequestGetsGeometricShare) {
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).cpu(1).memory(4).disk(25).duration(3600).bid(1.0));
+  s.offers.push_back(OfferBuilder(0).cpu(4).memory(16).disk(100).window(0, 7200).bid(1.0));
+  const Cluster cluster{.offers = {0}, .requests = {0}};
+  const ClusterEconomics econ = compute_economics(cluster, s);
+  ASSERT_EQ(econ.requests.size(), 1u);
+  // Geometric share = ‖(1,4,25)‖/‖(4,16,100)‖ = 0.25; critical share = 0.25
+  // as well (all three at ¼ of capacity).
+  EXPECT_NEAR(econ.requests[0].nu, 0.25, 1e-9);
+}
+
+TEST(Economics, NuClampedAtOne) {
+  // A flexible request nominally bigger than the virtual maximum must not
+  // produce ν > 1 (it would break the IR proof's scaling).
+  MarketSnapshot s;
+  Request big = RequestBuilder(0).cpu(8).duration(100).bid(1.0)
+                    .significance(ResourceSchema::kCpu, 0.5).build();
+  s.requests.push_back(big);
+  s.offers.push_back(OfferBuilder(0).cpu(4).window(0, 200).bid(1.0));
+  const Cluster cluster{.offers = {0}, .requests = {0}};
+  const ClusterEconomics econ = compute_economics(cluster, s);
+  ASSERT_EQ(econ.requests.size(), 1u);
+  EXPECT_LE(econ.requests[0].nu, 1.0);
+}
+
+TEST(Economics, RequestsSortedByVhatDescending) {
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).bid(1.0));
+  s.requests.push_back(RequestBuilder(1).bid(5.0));
+  s.requests.push_back(RequestBuilder(2).bid(3.0));
+  s.offers.push_back(OfferBuilder(0));
+  const Cluster cluster{.offers = {0}, .requests = {0, 1, 2}};
+  const ClusterEconomics econ = compute_economics(cluster, s);
+  ASSERT_EQ(econ.requests.size(), 3u);
+  EXPECT_GE(econ.requests[0].vhat, econ.requests[1].vhat);
+  EXPECT_GE(econ.requests[1].vhat, econ.requests[2].vhat);
+  EXPECT_EQ(econ.requests[0].request, 1u);
+}
+
+TEST(Economics, OffersSortedByChatAscending) {
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0));
+  s.offers.push_back(OfferBuilder(0).bid(3.0));
+  s.offers.push_back(OfferBuilder(1).bid(1.0));
+  s.offers.push_back(OfferBuilder(2).bid(2.0));
+  const Cluster cluster{.offers = {0, 1, 2}, .requests = {0}};
+  const ClusterEconomics econ = compute_economics(cluster, s);
+  ASSERT_EQ(econ.offers.size(), 3u);
+  EXPECT_LE(econ.offers[0].chat, econ.offers[1].chat);
+  EXPECT_LE(econ.offers[1].chat, econ.offers[2].chat);
+  EXPECT_EQ(econ.offers[0].offer, 1u);
+}
+
+TEST(Economics, TiesBrokenByEarlierSubmission) {
+  // Identical bids: the earlier-submitted request ranks first, so delaying
+  // a submission can never help (Section IV-D).
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).submitted(100).bid(2.0));
+  s.requests.push_back(RequestBuilder(1).submitted(50).bid(2.0));
+  s.offers.push_back(OfferBuilder(0));
+  const Cluster cluster{.offers = {0}, .requests = {0, 1}};
+  const ClusterEconomics econ = compute_economics(cluster, s);
+  EXPECT_EQ(econ.requests[0].request, 1u);  // submitted at 50 < 100
+}
+
+TEST(Economics, DegenerateClusterWithNoCommonTypes) {
+  ResourceSchema schema;
+  const ResourceId gpu = schema.intern("gpu");
+  MarketSnapshot s;
+  Request r = RequestBuilder(0).build();
+  r.resources = ResourceVector{};
+  r.resources.set(gpu, 1.0);
+  s.requests.push_back(r);
+  s.offers.push_back(OfferBuilder(0));
+  const Cluster cluster{.offers = {0}, .requests = {0}};
+  const ClusterEconomics econ = compute_economics(cluster, s);
+  EXPECT_TRUE(econ.common_types.empty());
+  EXPECT_TRUE(econ.offers.empty());
+  EXPECT_TRUE(econ.requests.empty());
+}
+
+TEST(Economics, NuOfRequestLookup) {
+  const MarketSnapshot s = one_pair_snapshot();
+  const Cluster cluster{.offers = {0}, .requests = {0}};
+  const ClusterEconomics econ = compute_economics(cluster, s);
+  EXPECT_FALSE(std::isnan(econ.nu_of_request(0)));
+  EXPECT_TRUE(std::isnan(econ.nu_of_request(42)));
+}
+
+}  // namespace
+}  // namespace decloud::auction

@@ -1,0 +1,76 @@
+#include "auction/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+#include "test_helpers.hpp"
+
+namespace decloud::auction {
+namespace {
+
+using test::OfferBuilder;
+using test::RequestBuilder;
+
+TEST(WindowCovers, FullCoverage) {
+  const Offer o = OfferBuilder(1).window(0, 1000).build();
+  EXPECT_TRUE(window_covers(o, RequestBuilder(1).window(100, 900).duration(100).build()));
+  EXPECT_TRUE(window_covers(o, RequestBuilder(1).window(0, 1000).duration(100).build()));
+}
+
+TEST(WindowCovers, PartialOverlapFails) {
+  const Offer o = OfferBuilder(1).window(100, 1000).build();
+  // Starts before the offer becomes available (constraint 10).
+  EXPECT_FALSE(window_covers(o, RequestBuilder(1).window(50, 900).duration(100).build()));
+  // Ends after the offer expires (constraint 11).
+  EXPECT_FALSE(window_covers(o, RequestBuilder(1).window(200, 1100).duration(100).build()));
+}
+
+TEST(ResourcesSufficient, StrictResourcesNeedFullAmount) {
+  const Offer o = OfferBuilder(1).cpu(4).memory(16).disk(100).build();
+  EXPECT_TRUE(resources_sufficient(o, RequestBuilder(1).cpu(4).build(), 1.0));
+  EXPECT_FALSE(resources_sufficient(o, RequestBuilder(1).cpu(4.1).build(), 1.0));
+  // Strict resources ignore market flexibility.
+  EXPECT_FALSE(resources_sufficient(o, RequestBuilder(1).cpu(4.1).build(), 0.5));
+}
+
+TEST(ResourcesSufficient, FlexibleResourcesScaleWithMarketFlexibility) {
+  const Offer o = OfferBuilder(1).cpu(4).build();
+  const Request r =
+      RequestBuilder(1).cpu(5.0).significance(ResourceSchema::kCpu, 0.5).build();
+  EXPECT_FALSE(resources_sufficient(o, r, 1.0));  // inflexible: needs full 5
+  EXPECT_TRUE(resources_sufficient(o, r, 0.8));   // 0.8 × 5 = 4 ≤ 4
+  EXPECT_FALSE(resources_sufficient(o, r, 0.81));
+}
+
+TEST(ResourcesSufficient, MissingResourceTypeFails) {
+  ResourceSchema schema;
+  const ResourceId sgx = schema.intern("sgx");
+  const Offer o = OfferBuilder(1).build();  // no sgx
+  const Request r = RequestBuilder(1).resource(sgx, 1.0).build();
+  EXPECT_FALSE(resources_sufficient(o, r, 1.0));
+}
+
+TEST(ResourcesSufficient, OfferExtraTypesIgnored) {
+  ResourceSchema schema;
+  const ResourceId gpu = schema.intern("gpu");
+  const Offer o = OfferBuilder(1).resource(gpu, 8.0).build();
+  EXPECT_TRUE(resources_sufficient(o, RequestBuilder(1).build(), 1.0));
+}
+
+TEST(ResourcesSufficient, FlexibilityPreconditions) {
+  const Offer o = OfferBuilder(1).build();
+  const Request r = RequestBuilder(1).build();
+  EXPECT_THROW(resources_sufficient(o, r, 0.0), precondition_error);
+  EXPECT_THROW(resources_sufficient(o, r, 1.1), precondition_error);
+}
+
+TEST(Feasible, CombinesWindowAndResources) {
+  AuctionConfig cfg;
+  const Offer o = OfferBuilder(1).window(0, 1000).cpu(2).build();
+  EXPECT_TRUE(feasible(o, RequestBuilder(1).window(0, 500).duration(100).cpu(2).build(), cfg));
+  EXPECT_FALSE(feasible(o, RequestBuilder(1).window(0, 2000).duration(100).cpu(2).build(), cfg));
+  EXPECT_FALSE(feasible(o, RequestBuilder(1).window(0, 500).duration(100).cpu(3).build(), cfg));
+}
+
+}  // namespace
+}  // namespace decloud::auction

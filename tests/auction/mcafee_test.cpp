@@ -1,0 +1,126 @@
+// Replays the worked examples behind Fig. 3 of the paper (McAfee pricing)
+// and Fig. 4 (SBBA pricing) on the classic unit-good mechanisms.
+#include "auction/mcafee.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace decloud::auction {
+namespace {
+
+std::vector<UnitBid> bids(std::initializer_list<double> values) {
+  std::vector<UnitBid> out;
+  std::size_t i = 0;
+  for (const double v : values) out.push_back({i++, v});
+  return out;
+}
+
+TEST(McAfee, NoTradeWhenValuationsBelowCosts) {
+  const auto result = mcafee_auction(bids({1.0, 2.0}), bids({5.0, 6.0}));
+  EXPECT_TRUE(result.trades.empty());
+  EXPECT_EQ(result.break_even, SIZE_MAX);
+}
+
+TEST(McAfee, SinglePriceCaseAllPairsTrade) {
+  // Fig. 3a: p = (v_{z+1}+c_{z+1})/2 falls inside [c_z, v_z] → all z pairs
+  // trade at p, budget balanced.
+  const auto buyers = bids({10.0, 8.0, 5.0});   // sorted desc
+  const auto sellers = bids({2.0, 4.0, 6.0});   // sorted asc
+  // z = 2 pairs (10≥2, 8≥4, 5<6 fails at pair 3? 5 ≥ 6 false → z = 2).
+  // p = (v_3 + c_3)/2 = (5+6)/2 = 5.5 ∈ [c_2, v_2] = [4, 8] → trade at 5.5.
+  const auto result = mcafee_auction(buyers, sellers);
+  ASSERT_EQ(result.trades.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.buyer_price, 5.5);
+  EXPECT_DOUBLE_EQ(result.seller_price, 5.5);
+  EXPECT_EQ(result.reduced_trades, 0u);
+  EXPECT_DOUBLE_EQ(result.budget_surplus(), 0.0);
+}
+
+TEST(McAfee, TradeReductionCaseExcludesMarginalPair) {
+  // Fig. 3b: p outside [c_z, v_z] → pair z excluded, buyers pay v_z,
+  // sellers get c_z, auctioneer keeps the spread.
+  const auto buyers = bids({10.0, 9.0, 8.9});
+  const auto sellers = bids({1.0, 1.1, 8.8});
+  // z = 3 pairs (8.9 ≥ 8.8).  p = no pair z+1 → reduction path.
+  const auto result = mcafee_auction(buyers, sellers);
+  ASSERT_EQ(result.trades.size(), 2u);
+  EXPECT_EQ(result.reduced_trades, 1u);
+  EXPECT_DOUBLE_EQ(result.buyer_price, 8.9);  // v_z
+  EXPECT_DOUBLE_EQ(result.seller_price, 8.8); // c_z
+  EXPECT_GT(result.budget_surplus(), 0.0);    // not strongly BB
+}
+
+TEST(McAfee, SinglePairAlwaysReduced) {
+  // One efficient pair and no z+1: the pair is excluded (no truthful price
+  // can be found from losers).
+  const auto result = mcafee_auction(bids({5.0}), bids({1.0}));
+  EXPECT_TRUE(result.trades.empty());
+  EXPECT_EQ(result.reduced_trades, 1u);
+}
+
+TEST(McAfee, TradesPairHighestBuyersWithCheapestSellers) {
+  const auto buyers = bids({3.0, 10.0, 8.0});   // unsorted on purpose
+  const auto sellers = bids({6.0, 1.0, 2.0});
+  const auto result = mcafee_auction(buyers, sellers);
+  ASSERT_EQ(result.trades.size(), 2u);
+  // Highest buyer (index 1, v=10) with cheapest seller (index 1, c=1).
+  EXPECT_EQ(result.trades[0].first, 1u);
+  EXPECT_EQ(result.trades[0].second, 1u);
+  EXPECT_EQ(result.trades[1].first, 2u);   // v=8
+  EXPECT_EQ(result.trades[1].second, 2u);  // c=2
+}
+
+TEST(Sbba, LuckySellerSetsPriceNothingLost) {
+  // Fig. 4b analogue: c_{z+1} = 4 ≤ v_z = 5 → p = 4, all z pairs trade.
+  const auto buyers = bids({10.0, 5.0});
+  const auto sellers = bids({1.0, 2.0, 4.0});
+  const auto result = sbba_auction(buyers, sellers);
+  ASSERT_EQ(result.trades.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.buyer_price, 4.0);
+  EXPECT_DOUBLE_EQ(result.seller_price, 4.0);
+  EXPECT_EQ(result.reduced_trades, 0u);
+  EXPECT_DOUBLE_EQ(result.budget_surplus(), 0.0);  // strongly BB
+}
+
+TEST(Sbba, BuyerSetsPriceAndIsExcluded) {
+  // Fig. 4a analogue: no seller z+1 → p = v_z, buyer z excluded.
+  const auto buyers = bids({10.0, 5.0});
+  const auto sellers = bids({1.0, 2.0});
+  const auto result = sbba_auction(buyers, sellers);
+  ASSERT_EQ(result.trades.size(), 1u);
+  EXPECT_EQ(result.trades[0].first, 0u);  // only the top buyer trades
+  EXPECT_DOUBLE_EQ(result.buyer_price, 5.0);
+  EXPECT_EQ(result.reduced_trades, 1u);
+  EXPECT_DOUBLE_EQ(result.budget_surplus(), 0.0);  // always strongly BB
+}
+
+TEST(Sbba, PriceIsIndividuallyRational) {
+  const auto buyers = bids({9.0, 7.0, 6.0, 2.0});
+  const auto sellers = bids({1.0, 3.0, 5.0, 8.0});
+  const auto result = sbba_auction(buyers, sellers);
+  // Every trading buyer values ≥ p, every trading seller costs ≤ p.
+  for (const auto& [b, s] : result.trades) {
+    EXPECT_GE(buyers[b].value, result.buyer_price);
+    EXPECT_LE(sellers[s].value, result.seller_price);
+  }
+}
+
+TEST(Sbba, NoTradePossible) {
+  const auto result = sbba_auction(bids({1.0}), bids({2.0}));
+  EXPECT_TRUE(result.trades.empty());
+  EXPECT_EQ(result.break_even, SIZE_MAX);
+}
+
+TEST(Sbba, AtMostOneTradeLostVsEfficient) {
+  // The SBBA guarantee: welfare loss is at most the single marginal trade.
+  const auto buyers = bids({9.0, 8.0, 7.0, 6.0, 5.0});
+  const auto sellers = bids({1.0, 2.0, 3.0, 4.0, 4.5});
+  const auto result = sbba_auction(buyers, sellers);
+  EXPECT_GE(result.trades.size(), 4u);  // 5 efficient pairs, lose ≤ 1
+  EXPECT_LE(result.reduced_trades, 1u);
+}
+
+}  // namespace
+}  // namespace decloud::auction

@@ -1,0 +1,139 @@
+#include "auction/miniauction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace decloud::auction {
+namespace {
+
+/// Builds a synthetic tradeable cluster with the given price range and
+/// welfare (the mini-auction builder only reads these fields).
+PricedCluster cluster_with(std::size_t index, double lo, double hi, Money welfare) {
+  PricedCluster pc;
+  pc.cluster_index = index;
+  pc.chat_zprime = lo;
+  pc.vhat_z = hi;
+  pc.welfare = welfare;
+  pc.tentative.resize(1);  // tradeable
+  return pc;
+}
+
+TEST(SelectRoots, EmptyAndNonTradeable) {
+  EXPECT_TRUE(select_roots({}).empty());
+  std::vector<PricedCluster> clusters(2);  // no tentative matches
+  EXPECT_TRUE(select_roots(clusters).empty());
+}
+
+TEST(SelectRoots, SingleClusterIsRoot) {
+  const std::vector<PricedCluster> clusters = {cluster_with(0, 1.0, 2.0, 5.0)};
+  EXPECT_EQ(select_roots(clusters), (std::vector<std::size_t>{0}));
+}
+
+TEST(SelectRoots, DisjointClustersAllRoots) {
+  const std::vector<PricedCluster> clusters = {
+      cluster_with(0, 1.0, 2.0, 5.0),
+      cluster_with(1, 3.0, 4.0, 1.0),
+      cluster_with(2, 5.0, 6.0, 2.0),
+  };
+  EXPECT_EQ(select_roots(clusters), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(SelectRoots, OverlappingClustersPickMaxWeight) {
+  // [1,3] w=1 overlaps [2,4] w=10: only the heavier survives as root.
+  const std::vector<PricedCluster> clusters = {
+      cluster_with(0, 1.0, 3.0, 1.0),
+      cluster_with(1, 2.0, 4.0, 10.0),
+  };
+  EXPECT_EQ(select_roots(clusters), (std::vector<std::size_t>{1}));
+}
+
+TEST(SelectRoots, ClassicWeightedIntervalInstance) {
+  // Choosing the two outer intervals (weight 6) beats the middle (5).
+  const std::vector<PricedCluster> clusters = {
+      cluster_with(0, 0.0, 2.0, 3.0),
+      cluster_with(1, 1.0, 5.0, 5.0),
+      cluster_with(2, 3.0, 6.0, 3.0),
+  };
+  EXPECT_EQ(select_roots(clusters), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(SelectRoots, TouchingIntervalsCompatibleAsRoots) {
+  // [1,2] and [2,3] touch but do not strictly overlap: both can be roots.
+  const std::vector<PricedCluster> clusters = {
+      cluster_with(0, 1.0, 2.0, 1.0),
+      cluster_with(1, 2.0, 3.0, 1.0),
+  };
+  EXPECT_EQ(select_roots(clusters).size(), 2u);
+}
+
+TEST(CreateMiniAuctions, SingleRootYieldsSingleAuction) {
+  const std::vector<PricedCluster> clusters = {cluster_with(0, 1.0, 2.0, 5.0)};
+  const auto auctions = create_mini_auctions(clusters);
+  ASSERT_EQ(auctions.size(), 1u);
+  EXPECT_EQ(auctions[0].clusters, (std::vector<std::size_t>{0}));
+  EXPECT_DOUBLE_EQ(auctions[0].welfare, 5.0);
+}
+
+TEST(CreateMiniAuctions, CompatibleClusterJoinsRootAuction) {
+  const std::vector<PricedCluster> clusters = {
+      cluster_with(0, 1.0, 4.0, 10.0),  // root
+      cluster_with(1, 2.0, 3.0, 1.0),   // overlaps → attaches under root
+  };
+  const auto auctions = create_mini_auctions(clusters);
+  ASSERT_EQ(auctions.size(), 1u);
+  // Leaf-to-root path contains both clusters.
+  EXPECT_EQ(auctions[0].clusters.size(), 2u);
+  EXPECT_EQ(auctions[0].clusters.back(), 0u);  // root last (leaf → root order)
+  EXPECT_DOUBLE_EQ(auctions[0].welfare, 11.0);
+}
+
+TEST(CreateMiniAuctions, EveryTradeableClusterAppearsSomewhere) {
+  const std::vector<PricedCluster> clusters = {
+      cluster_with(0, 0.0, 2.0, 3.0),  cluster_with(1, 1.0, 5.0, 5.0),
+      cluster_with(2, 3.0, 6.0, 3.0),  cluster_with(3, 0.5, 1.5, 1.0),
+      cluster_with(4, 4.0, 5.5, 0.5),
+  };
+  const auto auctions = create_mini_auctions(clusters);
+  std::vector<char> seen(clusters.size(), 0);
+  for (const auto& a : auctions) {
+    for (const std::size_t c : a.clusters) seen[c] = 1;
+  }
+  for (std::size_t c = 0; c < clusters.size(); ++c) EXPECT_TRUE(seen[c]) << "cluster " << c;
+}
+
+TEST(CreateMiniAuctions, PathsArePairwisePriceCompatibleWithParents) {
+  const std::vector<PricedCluster> clusters = {
+      cluster_with(0, 0.0, 10.0, 10.0),  // wide root
+      cluster_with(1, 1.0, 4.0, 3.0),
+      cluster_with(2, 2.0, 3.0, 2.0),
+      cluster_with(3, 6.0, 9.0, 3.0),
+  };
+  const auto auctions = create_mini_auctions(clusters);
+  for (const auto& a : auctions) {
+    // Consecutive path entries (child, parent) must be compatible.
+    for (std::size_t i = 0; i + 1 < a.clusters.size(); ++i) {
+      EXPECT_TRUE(price_compatible(clusters[a.clusters[i]], clusters[a.clusters[i + 1]]))
+          << "auction path entry " << i;
+    }
+  }
+}
+
+TEST(CreateMiniAuctions, MultipleLeavesYieldMultipleAuctions) {
+  // Two mutually incompatible children under one wide root → two leaves →
+  // two mini-auctions sharing the root.
+  const std::vector<PricedCluster> clusters = {
+      cluster_with(0, 0.0, 10.0, 10.0),
+      cluster_with(1, 1.0, 2.0, 3.0),
+      cluster_with(2, 8.0, 9.0, 3.0),
+  };
+  const auto auctions = create_mini_auctions(clusters);
+  EXPECT_EQ(auctions.size(), 2u);
+  for (const auto& a : auctions) {
+    EXPECT_EQ(a.clusters.back(), 0u);
+    EXPECT_EQ(a.clusters.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace decloud::auction

@@ -1,0 +1,162 @@
+#include "auction/pricing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "auction/economics.hpp"
+#include "test_helpers.hpp"
+
+namespace decloud::auction {
+namespace {
+
+using test::OfferBuilder;
+using test::RequestBuilder;
+
+/// Runs price_cluster over a snapshot where one cluster holds everything.
+PricedCluster price_all(const MarketSnapshot& s, const AuctionConfig& cfg = {}) {
+  Cluster cluster;
+  for (std::size_t o = 0; o < s.offers.size(); ++o) cluster.offers.push_back(o);
+  for (std::size_t r = 0; r < s.requests.size(); ++r) cluster.requests.push_back(r);
+  CapacityTracker cap(s.offers);
+  std::vector<char> taken(s.requests.size(), 0);
+  return price_cluster(0, compute_economics(cluster, s), s, cap, taken, cfg);
+}
+
+TEST(PriceCluster, SinglePairMatches) {
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).bid(5.0));
+  s.offers.push_back(OfferBuilder(0).bid(0.1));
+  const PricedCluster pc = price_all(s);
+  ASSERT_TRUE(pc.tradeable());
+  ASSERT_EQ(pc.tentative.size(), 1u);
+  EXPECT_EQ(pc.tentative[0].request, 0u);
+  EXPECT_EQ(pc.tentative[0].offer, 0u);
+  EXPECT_GT(pc.welfare, 0.0);
+  EXPECT_EQ(pc.chat_znext, kInfiniteCost);  // no z'+1 offer
+}
+
+TEST(PriceCluster, UnaffordableRequestStaysUnmatched) {
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).bid(0.0001));
+  s.offers.push_back(OfferBuilder(0).bid(100.0));
+  const PricedCluster pc = price_all(s);
+  EXPECT_FALSE(pc.tradeable());
+}
+
+TEST(PriceCluster, CheapestOfferTakenFirst) {
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).bid(50.0));
+  s.offers.push_back(OfferBuilder(0).bid(3.0));
+  s.offers.push_back(OfferBuilder(1).bid(1.0));  // cheapest
+  const PricedCluster pc = price_all(s);
+  ASSERT_EQ(pc.tentative.size(), 1u);
+  EXPECT_EQ(pc.tentative[0].offer, 1u);
+}
+
+TEST(PriceCluster, ZNextIsFirstUnusedOfferAfterZPrime) {
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).bid(50.0));
+  s.offers.push_back(OfferBuilder(0).bid(1.0));
+  s.offers.push_back(OfferBuilder(1).provider(11).bid(2.0));
+  const PricedCluster pc = price_all(s);
+  ASSERT_EQ(pc.tentative.size(), 1u);
+  // Offer 0 used (z'); offer 1 is z'+1 with ĉ = 2/(ν·span).
+  EXPECT_LT(pc.chat_znext, kInfiniteCost);
+  EXPECT_EQ(pc.znext_provider, ProviderId(11));
+  EXPECT_LT(pc.chat_zprime, pc.chat_znext);
+}
+
+TEST(PriceCluster, MultipleRequestsShareOneOffer) {
+  // "devices are capable of running multiple containers".
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).cpu(1).memory(4).disk(10).bid(5.0));
+  s.requests.push_back(RequestBuilder(1).cpu(1).memory(4).disk(10).bid(4.0));
+  s.offers.push_back(OfferBuilder(0).cpu(4).memory(16).disk(100).bid(0.1));
+  const PricedCluster pc = price_all(s);
+  EXPECT_EQ(pc.tentative.size(), 2u);
+  EXPECT_EQ(pc.tentative[0].offer, 0u);
+  EXPECT_EQ(pc.tentative[1].offer, 0u);
+}
+
+TEST(PriceCluster, CapacityExhaustionSpillsToNextOffer) {
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).cpu(3).memory(12).disk(80).bid(5.0));
+  s.requests.push_back(RequestBuilder(1).cpu(3).memory(12).disk(80).bid(4.0));
+  s.offers.push_back(OfferBuilder(0).cpu(4).memory(16).disk(100).bid(0.1));
+  s.offers.push_back(OfferBuilder(1).cpu(4).memory(16).disk(100).bid(0.2));
+  const PricedCluster pc = price_all(s);
+  ASSERT_EQ(pc.tentative.size(), 2u);
+  EXPECT_NE(pc.tentative[0].offer, pc.tentative[1].offer);
+}
+
+TEST(PriceCluster, VhatZIsLastMatchedRequest) {
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).cpu(1).memory(4).disk(10).bid(9.0));
+  s.requests.push_back(RequestBuilder(1).cpu(1).memory(4).disk(10).bid(6.0));
+  s.requests.push_back(RequestBuilder(2).client(7).cpu(1).memory(4).disk(10).bid(3.0));
+  s.offers.push_back(OfferBuilder(0).cpu(4).memory(16).disk(100).bid(0.01));
+  const PricedCluster pc = price_all(s);
+  ASSERT_EQ(pc.tentative.size(), 3u);
+  // z is the request with the lowest v̂ among the matched: request 2.
+  EXPECT_EQ(pc.z_client, ClientId(7));
+}
+
+TEST(PriceCluster, RangeInvariantHoldsUnderNonAssortativeFeasibility) {
+  // Request 0 (high value) can ONLY fit the expensive big offer; request 1
+  // (low value) fits the cheap small one.  The naive greedy would produce
+  // ĉ_z' > v̂_z (inverted range); the peel step must restore the invariant.
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).cpu(8).memory(32).disk(200).duration(3600).bid(4.0));
+  s.requests.push_back(RequestBuilder(1).cpu(1).memory(2).disk(5).duration(3600).bid(0.2));
+  s.offers.push_back(OfferBuilder(0).cpu(2).memory(8).disk(50).bid(0.05));     // small, cheap
+  s.offers.push_back(OfferBuilder(1).cpu(16).memory(64).disk(512).bid(20.0));  // big, pricey
+  const PricedCluster pc = price_all(s);
+  if (pc.tradeable()) {
+    EXPECT_GT(pc.range_hi(), pc.range_lo());
+  }
+}
+
+TEST(PriceCluster, AlreadyTakenRequestsSkipped) {
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).bid(5.0));
+  s.offers.push_back(OfferBuilder(0).bid(0.1));
+  Cluster cluster{.offers = {0}, .requests = {0}};
+  CapacityTracker cap(s.offers);
+  std::vector<char> taken = {1};  // someone already matched it
+  const PricedCluster pc =
+      price_cluster(0, compute_economics(cluster, s), s, cap, taken, AuctionConfig{});
+  EXPECT_FALSE(pc.tradeable());
+}
+
+TEST(PriceCluster, WelfareIsSumOfMatchWelfares) {
+  MarketSnapshot s;
+  s.requests.push_back(RequestBuilder(0).cpu(1).memory(4).disk(10).bid(3.0));
+  s.requests.push_back(RequestBuilder(1).cpu(1).memory(4).disk(10).bid(2.0));
+  s.offers.push_back(OfferBuilder(0).cpu(4).memory(16).disk(100).bid(0.5));
+  const PricedCluster pc = price_all(s);
+  Money expected = 0.0;
+  for (const auto& m : pc.tentative) {
+    expected += match_welfare(s.requests[m.request], s.offers[m.offer]);
+  }
+  EXPECT_NEAR(pc.welfare, expected, 1e-12);
+}
+
+TEST(PriceCompatible, OverlapRule) {
+  PricedCluster a;
+  a.chat_zprime = 1.0;
+  a.vhat_z = 3.0;
+  PricedCluster b;
+  b.chat_zprime = 2.0;
+  b.vhat_z = 4.0;
+  EXPECT_TRUE(price_compatible(a, b));  // [1,3] and [2,4] overlap
+  PricedCluster c;
+  c.chat_zprime = 3.0;  // touches a's hi: v̂_{z,a} > ĉ_{z',c} fails (3 > 3 false)
+  c.vhat_z = 5.0;
+  EXPECT_FALSE(price_compatible(a, c));
+  PricedCluster d;
+  d.chat_zprime = 10.0;
+  d.vhat_z = 12.0;
+  EXPECT_FALSE(price_compatible(a, d));
+}
+
+}  // namespace
+}  // namespace decloud::auction

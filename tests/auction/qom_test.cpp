@@ -1,0 +1,135 @@
+#include "auction/qom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace decloud::auction {
+namespace {
+
+using test::OfferBuilder;
+using test::RequestBuilder;
+
+TEST(BlockScale, TracksPerResourceMaxAcrossBothSides) {
+  const std::vector<Request> requests = {RequestBuilder(1).cpu(2).memory(8).build()};
+  const std::vector<Offer> offers = {OfferBuilder(1).cpu(16).memory(4).build()};
+  const BlockScale scale(requests, offers);
+  EXPECT_DOUBLE_EQ(scale.max_of(ResourceSchema::kCpu), 16.0);    // offer wins
+  EXPECT_DOUBLE_EQ(scale.max_of(ResourceSchema::kMemory), 8.0);  // request wins
+  EXPECT_DOUBLE_EQ(scale.max_of(999), 0.0);                      // unseen type
+}
+
+TEST(BlockScale, NormalizedDividesByMax) {
+  const std::vector<Request> requests = {RequestBuilder(1).cpu(2).build()};
+  const std::vector<Offer> offers = {OfferBuilder(1).cpu(8).build()};
+  const BlockScale scale(requests, offers);
+  EXPECT_DOUBLE_EQ(scale.normalized(ResourceSchema::kCpu, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(scale.normalized(999, 4.0), 0.0);  // max 0 → 0
+}
+
+TEST(QualityOfMatch, HandComputedValue) {
+  // One common resource (cpu).  max = 8 → ρ'_r = 0.25, ρ'_o = 1.0.
+  // q = σ · ρ'_o / ((ρ'_o − ρ'_r)² + 1) = 1 · 1 / (0.5625 + 1).
+  const Request r = RequestBuilder(1).cpu(2).build();
+  const Offer o = OfferBuilder(1).cpu(8).build();
+  // Restrict to cpu by building a scale where only cpu is shared.
+  Request r_only = r;
+  r_only.resources = ResourceVector{};
+  r_only.resources.set(ResourceSchema::kCpu, 2.0);
+  Offer o_only = o;
+  o_only.resources = ResourceVector{};
+  o_only.resources.set(ResourceSchema::kCpu, 8.0);
+  const BlockScale scale({r_only}, {o_only});
+  EXPECT_NEAR(quality_of_match(r_only, o_only, scale), 1.0 / 1.5625, 1e-12);
+}
+
+TEST(QualityOfMatch, ZeroWhenNoCommonTypes) {
+  ResourceSchema schema;
+  const ResourceId gpu = schema.intern("gpu");
+  Request r = RequestBuilder(1).build();
+  r.resources = ResourceVector{};
+  r.resources.set(gpu, 1.0);
+  const Offer o = OfferBuilder(1).build();
+  const BlockScale scale({r}, {o});
+  EXPECT_DOUBLE_EQ(quality_of_match(r, o, scale), 0.0);
+}
+
+TEST(QualityOfMatch, BalancedFitBeatsLopsidedCapacity) {
+  // The distance term of Eq. 18 punishes shape mismatch: an offer matching
+  // the request's profile outscores one that is big on one axis but
+  // starved on another.
+  Request r = RequestBuilder(1).build();
+  r.resources = ResourceVector{};
+  r.resources.set(ResourceSchema::kCpu, 8.0);
+  r.resources.set(ResourceSchema::kMemory, 16.0);
+  Offer balanced = OfferBuilder(1).build();
+  balanced.resources = ResourceVector{};
+  balanced.resources.set(ResourceSchema::kCpu, 8.0);
+  balanced.resources.set(ResourceSchema::kMemory, 16.0);
+  Offer lopsided = OfferBuilder(2).build();
+  lopsided.resources = ResourceVector{};
+  lopsided.resources.set(ResourceSchema::kCpu, 16.0);  // double the cpu…
+  lopsided.resources.set(ResourceSchema::kMemory, 2.0);  // …but starved on RAM
+  const BlockScale scale({r}, {balanced, lopsided});
+  EXPECT_GT(quality_of_match(r, balanced, scale), quality_of_match(r, lopsided, scale));
+}
+
+TEST(QualityOfMatch, GravityCanFavorLargeDistantOffers) {
+  // Eq. 18's numerator rewards sheer size: a machine-sized offer can
+  // outscore an exact-fit offer that is small on the normalized scale.
+  // This is by design (large devices attract many requests → clusters).
+  const Request r = RequestBuilder(1).cpu(4).memory(4).disk(10).build();
+  const Offer exact = OfferBuilder(1).cpu(4).memory(4).disk(10).build();
+  const Offer huge = OfferBuilder(2).cpu(16).memory(64).disk(500).build();
+  const BlockScale scale({r}, {exact, huge});
+  EXPECT_GT(quality_of_match(r, huge, scale), quality_of_match(r, exact, scale));
+}
+
+TEST(QualityOfMatch, GravityFavorsLargerOfferAtEqualDistance) {
+  // Two offers equidistant from the request in one resource; the larger
+  // one exerts more "gravity" (ρ'_o in the numerator).
+  Request r = RequestBuilder(1).build();
+  r.resources = ResourceVector{};
+  r.resources.set(ResourceSchema::kCpu, 6.0);
+  Offer small = OfferBuilder(1).build();
+  small.resources = ResourceVector{};
+  small.resources.set(ResourceSchema::kCpu, 4.0);
+  Offer large = OfferBuilder(2).build();
+  large.resources = ResourceVector{};
+  large.resources.set(ResourceSchema::kCpu, 8.0);
+  const BlockScale scale({r}, {small, large});
+  EXPECT_GT(quality_of_match(r, large, scale), quality_of_match(r, small, scale));
+}
+
+TEST(QualityOfMatch, SignificanceWeightsResources) {
+  // Down-weighting a mismatched resource raises the score.
+  Request strict = RequestBuilder(1).cpu(1).memory(16).build();
+  Request relaxed = RequestBuilder(2).cpu(1).memory(16)
+                        .significance(ResourceSchema::kMemory, 0.1).build();
+  const Offer o = OfferBuilder(1).cpu(1).memory(16).build();
+  const BlockScale scale({strict, relaxed}, {o});
+  // Same geometry, but relaxed scales the memory term by 0.1.
+  EXPECT_LT(quality_of_match(relaxed, o, scale), quality_of_match(strict, o, scale));
+}
+
+TEST(AugmentWithProximity, AddsProximityResource) {
+  ResourceSchema schema;
+  MarketSnapshot snapshot;
+  snapshot.requests.push_back(RequestBuilder(1).location(0.0, 0.0).build());
+  snapshot.requests.push_back(RequestBuilder(2).build());  // no location
+  snapshot.offers.push_back(OfferBuilder(1).location(3.0, 4.0).build());
+
+  augment_with_proximity(snapshot, schema, Location{0.0, 0.0}, 0.5);
+  const auto prox = schema.find("proximity");
+  ASSERT_TRUE(prox.has_value());
+  // Request at the origin: proximity 1; offer at distance 5: 1/6.
+  EXPECT_DOUBLE_EQ(snapshot.requests[0].resources.get(*prox), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.requests[0].significance.get(*prox), 0.5);
+  EXPECT_FALSE(snapshot.requests[1].resources.has(*prox));
+  EXPECT_NEAR(snapshot.offers[0].resources.get(*prox), 1.0 / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace decloud::auction

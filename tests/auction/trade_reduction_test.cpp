@@ -1,0 +1,93 @@
+#include "auction/trade_reduction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decloud::auction {
+namespace {
+
+PricedCluster tradeable_cluster(std::size_t index, double vhat_z, double chat_znext,
+                                std::uint64_t client, std::uint64_t provider) {
+  PricedCluster pc;
+  pc.cluster_index = index;
+  pc.vhat_z = vhat_z;
+  pc.chat_zprime = vhat_z / 2.0;
+  pc.chat_znext = chat_znext;
+  pc.z_client = ClientId(client);
+  pc.znext_provider = ProviderId(provider);
+  pc.tentative.resize(1);
+  return pc;
+}
+
+TEST(DeterminePrice, InvalidWhenNothingTradeable) {
+  std::vector<PricedCluster> priced(2);  // no tentative matches
+  const MiniAuction auction{.clusters = {0, 1}, .welfare = 0.0};
+  const std::vector<char> done(2, 0);
+  EXPECT_FALSE(determine_price(auction, priced, done).valid);
+}
+
+TEST(DeterminePrice, RequestSideSetsPriceWhenNoNextOffer) {
+  // ĉ_{z'+1} = ∞ → p = v̂_z, setter is the request (client excluded).
+  std::vector<PricedCluster> priced = {tradeable_cluster(0, 5.0, kInfiniteCost, 42, 0)};
+  const MiniAuction auction{.clusters = {0}, .welfare = 1.0};
+  const std::vector<char> done(1, 0);
+  const PriceQuote q = determine_price(auction, priced, done);
+  ASSERT_TRUE(q.valid);
+  EXPECT_DOUBLE_EQ(q.price, 5.0);
+  EXPECT_TRUE(q.setter_is_request);
+  EXPECT_EQ(q.client, ClientId(42));
+}
+
+TEST(DeterminePrice, OfferSideSetsPriceWhenCheaper) {
+  // ĉ_{z'+1} = 3 < v̂_z = 5 → p = 3, provider excluded (the lucky SBBA case).
+  std::vector<PricedCluster> priced = {tradeable_cluster(0, 5.0, 3.0, 42, 77)};
+  const MiniAuction auction{.clusters = {0}, .welfare = 1.0};
+  const std::vector<char> done(1, 0);
+  const PriceQuote q = determine_price(auction, priced, done);
+  ASSERT_TRUE(q.valid);
+  EXPECT_DOUBLE_EQ(q.price, 3.0);
+  EXPECT_FALSE(q.setter_is_request);
+  EXPECT_EQ(q.provider, ProviderId(77));
+}
+
+TEST(DeterminePrice, TiePrefersOfferSide) {
+  // Excluding the unallocated offer z'+1 is free; on a tie it must win.
+  std::vector<PricedCluster> priced = {tradeable_cluster(0, 4.0, 4.0, 42, 77)};
+  const MiniAuction auction{.clusters = {0}, .welfare = 1.0};
+  const std::vector<char> done(1, 0);
+  const PriceQuote q = determine_price(auction, priced, done);
+  ASSERT_TRUE(q.valid);
+  EXPECT_DOUBLE_EQ(q.price, 4.0);
+  EXPECT_FALSE(q.setter_is_request);
+}
+
+TEST(DeterminePrice, MinimumAcrossClusters) {
+  std::vector<PricedCluster> priced = {
+      tradeable_cluster(0, 5.0, 7.0, 1, 10),
+      tradeable_cluster(1, 2.0, kInfiniteCost, 2, 20),  // v̂_z = 2 is the min
+      tradeable_cluster(2, 6.0, 3.0, 3, 30),
+  };
+  const MiniAuction auction{.clusters = {0, 1, 2}, .welfare = 1.0};
+  const std::vector<char> done(3, 0);
+  const PriceQuote q = determine_price(auction, priced, done);
+  ASSERT_TRUE(q.valid);
+  EXPECT_DOUBLE_EQ(q.price, 2.0);
+  EXPECT_TRUE(q.setter_is_request);
+  EXPECT_EQ(q.setter_cluster, 1u);
+  EXPECT_EQ(q.client, ClientId(2));
+}
+
+TEST(DeterminePrice, DoneClustersSkipped) {
+  std::vector<PricedCluster> priced = {
+      tradeable_cluster(0, 1.0, kInfiniteCost, 1, 0),  // would set p = 1 but is done
+      tradeable_cluster(1, 5.0, kInfiniteCost, 2, 0),
+  };
+  const MiniAuction auction{.clusters = {0, 1}, .welfare = 1.0};
+  std::vector<char> done = {1, 0};
+  const PriceQuote q = determine_price(auction, priced, done);
+  ASSERT_TRUE(q.valid);
+  EXPECT_DOUBLE_EQ(q.price, 5.0);
+  EXPECT_EQ(q.client, ClientId(2));
+}
+
+}  // namespace
+}  // namespace decloud::auction

@@ -1,0 +1,55 @@
+#include "common/ensure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace decloud {
+namespace {
+
+TEST(Ensure, ExpectsPassesOnTrue) { EXPECT_NO_THROW(DECLOUD_EXPECTS(1 + 1 == 2)); }
+
+TEST(Ensure, ExpectsThrowsPreconditionError) {
+  EXPECT_THROW(DECLOUD_EXPECTS(false), precondition_error);
+}
+
+TEST(Ensure, EnsuresThrowsInvariantError) {
+  EXPECT_THROW(DECLOUD_ENSURES(false), invariant_error);
+}
+
+TEST(Ensure, ErrorTypesAreDistinct) {
+  // A caller-bug (precondition) must be distinguishable from a library bug
+  // (invariant) so tests can assert the right one.
+  static_assert(!std::is_same_v<precondition_error, invariant_error>);
+  try {
+    DECLOUD_EXPECTS(false);
+    FAIL() << "should have thrown";
+  } catch (const invariant_error&) {
+    FAIL() << "precondition must not be caught as invariant";
+  } catch (const precondition_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(Ensure, MessageContainsExpressionAndDetail) {
+  try {
+    DECLOUD_EXPECTS_MSG(2 < 1, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const precondition_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 < 1"), std::string::npos);
+    EXPECT_NE(msg.find("custom detail"), std::string::npos);
+  }
+}
+
+TEST(Ensure, MessageContainsSourceLocation) {
+  try {
+    DECLOUD_ENSURES(false);
+    FAIL() << "should have thrown";
+  } catch (const invariant_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ensure_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace decloud

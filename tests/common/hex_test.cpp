@@ -1,0 +1,42 @@
+#include "common/hex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+
+namespace decloud {
+namespace {
+
+TEST(Hex, EncodesKnownBytes) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x01, 0x0f, 0x10, 0xab, 0xff};
+  EXPECT_EQ(to_hex(bytes), "00010f10abff");
+}
+
+TEST(Hex, EmptyRoundtrip) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, DecodeIsCaseInsensitive) {
+  const auto lower = from_hex("deadbeef");
+  const auto upper = from_hex("DEADBEEF");
+  EXPECT_EQ(lower, upper);
+  EXPECT_EQ(lower, (std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, RoundtripAllByteValues) {
+  std::vector<std::uint8_t> bytes(256);
+  for (int i = 0; i < 256; ++i) bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(from_hex(to_hex(bytes)), bytes);
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_THROW(from_hex("abc"), precondition_error); }
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_THROW(from_hex("zz"), precondition_error);
+  EXPECT_THROW(from_hex("0g"), precondition_error);
+  EXPECT_THROW(from_hex(" 0"), precondition_error);
+}
+
+}  // namespace
+}  // namespace decloud

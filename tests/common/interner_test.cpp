@@ -1,0 +1,64 @@
+#include "common/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+
+namespace decloud {
+namespace {
+
+TEST(Interner, AssignsDenseIndices) {
+  Interner in;
+  EXPECT_EQ(in.intern("cpu"), 0u);
+  EXPECT_EQ(in.intern("memory"), 1u);
+  EXPECT_EQ(in.intern("disk"), 2u);
+  EXPECT_EQ(in.size(), 3u);
+}
+
+TEST(Interner, InternIsIdempotent) {
+  Interner in;
+  const auto a = in.intern("latency");
+  const auto b = in.intern("latency");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(Interner, FindDoesNotCreate) {
+  Interner in;
+  EXPECT_EQ(in.find("sgx"), Interner::npos);
+  EXPECT_EQ(in.size(), 0u);
+  in.intern("sgx");
+  EXPECT_EQ(in.find("sgx"), 0u);
+}
+
+TEST(Interner, NameRoundtrip) {
+  Interner in;
+  const auto idx = in.intern("reputation");
+  EXPECT_EQ(in.name(idx), "reputation");
+}
+
+TEST(Interner, NameOutOfRangeThrows) {
+  Interner in;
+  EXPECT_THROW(in.name(0), precondition_error);
+  in.intern("x");
+  EXPECT_THROW(in.name(1), precondition_error);
+}
+
+TEST(Interner, EmptyStringIsValidKey) {
+  Interner in;
+  const auto idx = in.intern("");
+  EXPECT_EQ(in.find(""), idx);
+  EXPECT_EQ(in.name(idx), "");
+}
+
+TEST(Interner, ManyKeysStayStable) {
+  Interner in;
+  for (int i = 0; i < 1000; ++i) in.intern("k" + std::to_string(i));
+  EXPECT_EQ(in.size(), 1000u);
+  EXPECT_EQ(in.find("k0"), 0u);
+  EXPECT_EQ(in.find("k999"), 999u);
+  EXPECT_EQ(in.name(500), "k500");
+}
+
+}  // namespace
+}  // namespace decloud

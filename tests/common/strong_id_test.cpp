@@ -1,0 +1,54 @@
+#include "common/strong_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/types.hpp"
+
+namespace decloud {
+namespace {
+
+TEST(StrongId, DefaultIsZero) {
+  ClientId id;
+  EXPECT_EQ(id.value(), 0u);
+}
+
+TEST(StrongId, ValueRoundtrip) {
+  ClientId id(42);
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(ClientId(1), ClientId(2));
+  EXPECT_EQ(ClientId(7), ClientId(7));
+  EXPECT_NE(ClientId(7), ClientId(8));
+  EXPECT_GE(ClientId(9), ClientId(9));
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<ClientId, ProviderId>);
+  static_assert(!std::is_same_v<RequestId, OfferId>);
+  static_assert(!std::is_convertible_v<ClientId, ProviderId>);
+  static_assert(!std::is_convertible_v<std::uint64_t, ClientId>);  // explicit ctor
+}
+
+TEST(StrongId, HashWorksInUnorderedContainers) {
+  std::unordered_set<ClientId> set;
+  set.insert(ClientId(1));
+  set.insert(ClientId(2));
+  set.insert(ClientId(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(ClientId(2)));
+  EXPECT_FALSE(set.contains(ClientId(3)));
+}
+
+TEST(StrongId, StreamsUnderlyingValue) {
+  std::ostringstream os;
+  os << OfferId(99);
+  EXPECT_EQ(os.str(), "99");
+}
+
+}  // namespace
+}  // namespace decloud

@@ -1,0 +1,106 @@
+#include "crypto/chacha20.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hex.hpp"
+
+namespace decloud::crypto {
+namespace {
+
+SymmetricKey key_from_hex(const std::string& hex) {
+  const auto bytes = from_hex(hex);
+  SymmetricKey k{};
+  std::copy(bytes.begin(), bytes.end(), k.begin());
+  return k;
+}
+
+Nonce nonce_from_hex(const std::string& hex) {
+  const auto bytes = from_hex(hex);
+  Nonce n{};
+  std::copy(bytes.begin(), bytes.end(), n.begin());
+  return n;
+}
+
+// RFC 8439 §2.3.2: block function test vector.
+TEST(ChaCha20, Rfc8439BlockVector) {
+  const auto key =
+      key_from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = nonce_from_hex("000000090000004a00000000");
+  const auto block = chacha20_block(key, nonce, 1);
+  EXPECT_EQ(to_hex({block.data(), block.size()}),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 §2.4.2: encryption test vector.
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  const auto key =
+      key_from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = nonce_from_hex("000000000000004a00000000");
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const auto ct = chacha20_xor(
+      key, nonce, {reinterpret_cast<const std::uint8_t*>(plaintext.data()), plaintext.size()}, 1);
+  EXPECT_EQ(to_hex(ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, EncryptDecryptRoundtrip) {
+  SymmetricKey key{};
+  key[0] = 7;
+  Nonce nonce{};
+  nonce[11] = 3;
+  const std::vector<std::uint8_t> plain = {0, 1, 2, 3, 4, 5, 250, 251, 252};
+  const auto ct = chacha20_xor(key, nonce, plain);
+  EXPECT_NE(ct, plain);
+  EXPECT_EQ(chacha20_xor(key, nonce, ct), plain);
+}
+
+TEST(ChaCha20, EmptyInput) {
+  SymmetricKey key{};
+  Nonce nonce{};
+  EXPECT_TRUE(chacha20_xor(key, nonce, {}).empty());
+}
+
+TEST(ChaCha20, MultiBlockLengths) {
+  SymmetricKey key{};
+  key[31] = 1;
+  Nonce nonce{};
+  for (const std::size_t len : {1UL, 63UL, 64UL, 65UL, 128UL, 200UL}) {
+    std::vector<std::uint8_t> plain(len, 0x5a);
+    const auto ct = chacha20_xor(key, nonce, plain);
+    ASSERT_EQ(ct.size(), len);
+    EXPECT_EQ(chacha20_xor(key, nonce, ct), plain);
+  }
+}
+
+TEST(ChaCha20, KeyAndNonceSensitivity) {
+  SymmetricKey k1{};
+  SymmetricKey k2{};
+  k2[0] = 1;
+  Nonce n1{};
+  Nonce n2{};
+  n2[0] = 1;
+  const std::vector<std::uint8_t> plain(32, 0);
+  EXPECT_NE(chacha20_xor(k1, n1, plain), chacha20_xor(k2, n1, plain));
+  EXPECT_NE(chacha20_xor(k1, n1, plain), chacha20_xor(k1, n2, plain));
+}
+
+TEST(ChaCha20, CounterOffsetsKeystream) {
+  SymmetricKey key{};
+  Nonce nonce{};
+  const std::vector<std::uint8_t> plain(128, 0);
+  const auto c0 = chacha20_xor(key, nonce, plain, 0);
+  const auto c1 = chacha20_xor(key, nonce, plain, 1);
+  // Stream at counter 1 is the tail of the stream at counter 0.
+  EXPECT_TRUE(std::equal(c0.begin() + 64, c0.end(), c1.begin()));
+}
+
+}  // namespace
+}  // namespace decloud::crypto

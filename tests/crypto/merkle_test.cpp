@@ -1,0 +1,101 @@
+#include "crypto/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace decloud::crypto {
+namespace {
+
+std::vector<Digest> make_leaves(std::size_t n) {
+  std::vector<Digest> leaves;
+  for (std::size_t i = 0; i < n; ++i) leaves.push_back(Sha256::hash("leaf" + std::to_string(i)));
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeHasZeroRoot) {
+  MerkleTree tree({});
+  EXPECT_EQ(tree.root(), Digest{});
+  EXPECT_EQ(tree.leaf_count(), 0u);
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const auto leaves = make_leaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+  EXPECT_TRUE(MerkleTree::verify(leaves[0], tree.prove(0), tree.root()));
+}
+
+TEST(Merkle, ParentIsDomainSeparatedFromLeafHash) {
+  // An internal node must never collide with SHA-256 of concatenated
+  // children (second-preimage style mischief).
+  const Digest a = Sha256::hash("a");
+  const Digest b = Sha256::hash("b");
+  std::vector<std::uint8_t> cat(a.begin(), a.end());
+  cat.insert(cat.end(), b.begin(), b.end());
+  EXPECT_NE(merkle_parent(a, b), Sha256::hash({cat.data(), cat.size()}));
+}
+
+TEST(Merkle, OrderMatters) {
+  const Digest a = Sha256::hash("a");
+  const Digest b = Sha256::hash("b");
+  EXPECT_NE(merkle_parent(a, b), merkle_parent(b, a));
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, AllProofsVerify) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(MerkleTree::verify(leaves[i], tree.prove(i), tree.root())) << "leaf " << i;
+  }
+}
+
+TEST_P(MerkleProofTest, WrongLeafFailsVerification) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree tree(leaves);
+  const Digest forged = Sha256::hash("forged");
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(MerkleTree::verify(forged, tree.prove(i), tree.root())) << "leaf " << i;
+  }
+}
+
+// Odd sizes exercise the duplicate-last-node rule; powers of two the clean
+// case.
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33));
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  const MerkleTree original(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto tampered = leaves;
+    tampered[i] = Sha256::hash("tampered");
+    EXPECT_NE(MerkleTree(tampered).root(), original.root()) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, RootChangesWithLeafCount) {
+  EXPECT_NE(MerkleTree(make_leaves(4)).root(), MerkleTree(make_leaves(5)).root());
+}
+
+TEST(Merkle, ProofAgainstWrongRootFails) {
+  const auto leaves = make_leaves(6);
+  MerkleTree tree(leaves);
+  const Digest other_root = MerkleTree(make_leaves(7)).root();
+  EXPECT_FALSE(MerkleTree::verify(leaves[2], tree.prove(2), other_root));
+}
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  MerkleTree tree(make_leaves(3));
+  EXPECT_THROW(tree.prove(3), precondition_error);
+}
+
+}  // namespace
+}  // namespace decloud::crypto

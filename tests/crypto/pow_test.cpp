@@ -1,0 +1,92 @@
+#include "crypto/pow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace decloud::crypto {
+namespace {
+
+std::vector<std::uint8_t> header(const std::string& s) { return {s.begin(), s.end()}; }
+
+TEST(MeetsDifficulty, ZeroBitsAlwaysMet) {
+  Digest d{};
+  d[0] = 0xff;
+  EXPECT_TRUE(meets_difficulty(d, 0));
+}
+
+TEST(MeetsDifficulty, FullZeroDigestMeets256) {
+  EXPECT_TRUE(meets_difficulty(Digest{}, 256));
+}
+
+TEST(MeetsDifficulty, ByteBoundaries) {
+  Digest d{};
+  d[1] = 0x80;  // first 8 bits zero, 9th bit set
+  EXPECT_TRUE(meets_difficulty(d, 8));
+  EXPECT_FALSE(meets_difficulty(d, 9));
+}
+
+TEST(MeetsDifficulty, SubByteBits) {
+  Digest d{};
+  d[0] = 0x1f;  // 0001'1111: exactly 3 leading zero bits
+  EXPECT_TRUE(meets_difficulty(d, 3));
+  EXPECT_FALSE(meets_difficulty(d, 4));
+}
+
+TEST(Pow, SolveAndVerifyRoundtrip) {
+  const auto h = header("block header");
+  const auto sol = solve_pow(h, 12);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_TRUE(meets_difficulty(sol->digest, 12));
+  EXPECT_TRUE(verify_pow(h, 12, *sol));
+}
+
+TEST(Pow, VerifyRejectsWrongNonce) {
+  const auto h = header("block header");
+  auto sol = solve_pow(h, 10);
+  ASSERT_TRUE(sol.has_value());
+  PowSolution bad = *sol;
+  bad.nonce += 1;
+  EXPECT_FALSE(verify_pow(h, 10, bad));
+}
+
+TEST(Pow, VerifyRejectsWrongHeader) {
+  const auto h = header("block header");
+  const auto sol = solve_pow(h, 10);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_FALSE(verify_pow(header("other header"), 10, *sol));
+}
+
+TEST(Pow, VerifyRejectsForgedDigest) {
+  const auto h = header("block header");
+  auto sol = solve_pow(h, 10);
+  ASSERT_TRUE(sol.has_value());
+  sol->digest = Digest{};  // claims all-zero digest (meets any difficulty)
+  EXPECT_FALSE(verify_pow(h, 10, *sol));
+}
+
+TEST(Pow, ExhaustionReturnsNullopt) {
+  // 64 difficulty bits in 4 attempts: astronomically unlikely.
+  EXPECT_FALSE(solve_pow(header("h"), 64, 0, 4).has_value());
+}
+
+TEST(Pow, DeterministicGivenStartNonce) {
+  const auto h = header("h");
+  const auto a = solve_pow(h, 8);
+  const auto b = solve_pow(h, 8);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->nonce, b->nonce);
+  EXPECT_EQ(a->digest, b->digest);
+}
+
+TEST(Pow, HigherDifficultyNeedsMoreAttempts) {
+  const auto h = header("statistics");
+  const auto easy = solve_pow(h, 4);
+  const auto hard = solve_pow(h, 14);
+  ASSERT_TRUE(easy && hard);
+  EXPECT_LE(easy->nonce, hard->nonce);
+}
+
+}  // namespace
+}  // namespace decloud::crypto

@@ -1,0 +1,153 @@
+#include "ledger/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "auction/mechanism.hpp"
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace decloud::ledger {
+namespace {
+
+auction::Request sample_request() {
+  auction::Request r;
+  r.id = RequestId(42);
+  r.client = ClientId(7);
+  r.submitted = 12345;
+  r.resources.set(auction::ResourceSchema::kCpu, 2.5);
+  r.resources.set(auction::ResourceSchema::kMemory, 8.0);
+  r.significance.set(auction::ResourceSchema::kMemory, 0.7);
+  r.window_start = 100;
+  r.window_end = 5000;
+  r.duration = 2000;
+  r.bid = 3.14;
+  r.location = auction::Location{60.17, 24.94};  // Helsinki
+  return r;
+}
+
+auction::Offer sample_offer() {
+  auction::Offer o;
+  o.id = OfferId(9);
+  o.provider = ProviderId(3);
+  o.submitted = 999;
+  o.resources.set(auction::ResourceSchema::kCpu, 16.0);
+  o.resources.set(auction::ResourceSchema::kDisk, 512.0);
+  o.window_start = 0;
+  o.window_end = 86400;
+  o.bid = 0.768;
+  return o;  // no location: exercises the optional
+}
+
+TEST(Codec, RequestRoundtrip) {
+  const auto r = sample_request();
+  const auto decoded = decode_request(encode_request(r));
+  EXPECT_EQ(decoded.id, r.id);
+  EXPECT_EQ(decoded.client, r.client);
+  EXPECT_EQ(decoded.submitted, r.submitted);
+  EXPECT_EQ(decoded.resources, r.resources);
+  EXPECT_EQ(decoded.significance, r.significance);
+  EXPECT_EQ(decoded.window_start, r.window_start);
+  EXPECT_EQ(decoded.window_end, r.window_end);
+  EXPECT_EQ(decoded.duration, r.duration);
+  EXPECT_DOUBLE_EQ(decoded.bid, r.bid);
+  EXPECT_EQ(decoded.location, r.location);
+}
+
+TEST(Codec, OfferRoundtrip) {
+  const auto o = sample_offer();
+  const auto decoded = decode_offer(encode_offer(o));
+  EXPECT_EQ(decoded.id, o.id);
+  EXPECT_EQ(decoded.provider, o.provider);
+  EXPECT_EQ(decoded.resources, o.resources);
+  EXPECT_DOUBLE_EQ(decoded.bid, o.bid);
+  EXPECT_FALSE(decoded.location.has_value());
+}
+
+TEST(Codec, EncodingIsDeterministic) {
+  EXPECT_EQ(encode_request(sample_request()), encode_request(sample_request()));
+  EXPECT_EQ(encode_offer(sample_offer()), encode_offer(sample_offer()));
+}
+
+TEST(Codec, KindTagsDiffer) {
+  EXPECT_NE(encode_request(sample_request()).front(), encode_offer(sample_offer()).front());
+}
+
+TEST(Codec, CrossDecodeRejected) {
+  EXPECT_THROW(decode_offer(encode_request(sample_request())), precondition_error);
+  EXPECT_THROW(decode_request(encode_offer(sample_offer())), precondition_error);
+}
+
+TEST(Codec, TruncatedPayloadRejected) {
+  auto bytes = encode_request(sample_request());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(decode_request(bytes), precondition_error);
+}
+
+TEST(Codec, TrailingBytesRejected) {
+  auto bytes = encode_offer(sample_offer());
+  bytes.push_back(0);
+  EXPECT_THROW(decode_offer(bytes), precondition_error);
+}
+
+TEST(Codec, AllocationRoundtrip) {
+  // Run a real auction so the allocation has content.
+  auction::MarketSnapshot s;
+  Rng rng(1);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    auction::Request r;
+    r.id = RequestId(i);
+    r.client = ClientId(i);
+    r.submitted = static_cast<Time>(i);
+    r.resources.set(auction::ResourceSchema::kCpu, 1.0);
+    r.window_start = 0;
+    r.window_end = 7200;
+    r.duration = 3600;
+    r.bid = rng.uniform(0.5, 3.0);
+    s.requests.push_back(r);
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    auction::Offer o;
+    o.id = OfferId(i);
+    o.provider = ProviderId(i);
+    o.submitted = static_cast<Time>(i);
+    o.resources.set(auction::ResourceSchema::kCpu, 4.0);
+    o.window_start = 0;
+    o.window_end = 86400;
+    o.bid = rng.uniform(0.1, 0.5);
+    s.offers.push_back(o);
+  }
+  const auto result = auction::DeCloudAuction{}.run(s, 77);
+
+  const auto decoded =
+      decode_allocation(encode_allocation(result), s.requests.size(), s.offers.size());
+  ASSERT_EQ(decoded.matches.size(), result.matches.size());
+  for (std::size_t i = 0; i < result.matches.size(); ++i) {
+    EXPECT_EQ(decoded.matches[i].request, result.matches[i].request);
+    EXPECT_EQ(decoded.matches[i].offer, result.matches[i].offer);
+    EXPECT_DOUBLE_EQ(decoded.matches[i].payment, result.matches[i].payment);
+  }
+  EXPECT_EQ(decoded.tentative_trades, result.tentative_trades);
+  EXPECT_EQ(decoded.reduced_trades, result.reduced_trades);
+  EXPECT_DOUBLE_EQ(decoded.welfare, result.welfare);
+  EXPECT_NEAR(decoded.total_payments, result.total_payments, 1e-12);
+  EXPECT_EQ(decoded.payment_by_request, result.payment_by_request);
+  EXPECT_EQ(decoded.revenue_by_offer, result.revenue_by_offer);
+}
+
+TEST(Codec, AllocationRejectsOutOfRangeMatch) {
+  auction::RoundResult result;
+  result.payment_by_request.assign(2, 0.0);
+  result.revenue_by_offer.assign(2, 0.0);
+  auction::Match m;
+  m.request = 1;
+  m.offer = 1;
+  result.matches.push_back(m);
+  const auto bytes = encode_allocation(result);
+  // Decoding with a smaller universe must fail.
+  EXPECT_THROW(decode_allocation(bytes, 1, 2), precondition_error);
+  EXPECT_THROW(decode_allocation(bytes, 2, 1), precondition_error);
+  EXPECT_NO_THROW(decode_allocation(bytes, 2, 2));
+}
+
+}  // namespace
+}  // namespace decloud::ledger

@@ -1,0 +1,133 @@
+#include "ledger/market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace decloud::ledger {
+namespace {
+
+MarketConfig small_config() {
+  MarketConfig mc;
+  mc.consensus.difficulty_bits = 8;
+  mc.num_verifiers = 1;
+  return mc;
+}
+
+auction::Request make_request(std::uint64_t id, Money bid, double cpu = 1.0) {
+  auction::Request r;
+  r.id = RequestId(id);
+  r.client = ClientId(id);
+  r.submitted = static_cast<Time>(id);
+  r.resources.set(auction::ResourceSchema::kCpu, cpu);
+  r.window_start = 0;
+  r.window_end = 1'000'000;  // wide windows so resubmission stays feasible
+  r.duration = 3600;
+  r.bid = bid;
+  return r;
+}
+
+auction::Offer make_offer(std::uint64_t id, Money bid, double cpu = 4.0) {
+  auction::Offer o;
+  o.id = OfferId(id);
+  o.provider = ProviderId(id);
+  o.submitted = static_cast<Time>(id);
+  o.resources.set(auction::ResourceSchema::kCpu, cpu);
+  o.window_start = 0;
+  o.window_end = 2'000'000;
+  o.bid = bid;
+  return o;
+}
+
+TEST(MarketOrchestrator, SingleRoundAllocates) {
+  MarketOrchestrator market(small_config());
+  market.submit(make_request(1, 5.0));
+  market.submit(make_offer(1, 0.1));
+  market.submit(make_offer(2, 0.2));  // spare: lets the single trade survive
+
+  const auto outcome = market.run_round(0);
+  EXPECT_TRUE(outcome.block_accepted);
+  EXPECT_EQ(market.stats().requests_allocated, 1u);
+  EXPECT_EQ(market.stats().rounds, 1u);
+  ASSERT_FALSE(market.stats().allocation_latency.empty());
+  EXPECT_EQ(market.stats().allocation_latency[0], 1u);  // first attempt
+}
+
+TEST(MarketOrchestrator, UnmatchedBidResubmitsAndEventuallyAllocates) {
+  MarketOrchestrator market(small_config());
+  // Round 1: a lone pair — trade reduction eats the only trade, so the
+  // request must come back.
+  market.submit(make_request(1, 5.0));
+  market.submit(make_offer(1, 0.1));
+  const auto first = market.run_round(0);
+  EXPECT_TRUE(first.block_accepted);
+  EXPECT_EQ(market.stats().requests_allocated, 0u);
+  EXPECT_GT(market.queued_bids(), 0u);  // both bids re-queued
+
+  // Round 2: a spare offer arrives; the resubmitted request clears.
+  market.submit(make_offer(2, 0.2));
+  const auto second = market.run_round(600);
+  EXPECT_TRUE(second.block_accepted);
+  EXPECT_EQ(market.stats().requests_allocated, 1u);
+  // The allocation happened on the request's SECOND attempt.
+  ASSERT_GE(market.stats().allocation_latency.size(), 2u);
+  EXPECT_EQ(market.stats().allocation_latency[1], 1u);
+}
+
+TEST(MarketOrchestrator, RetryBudgetAbandonsHopelessBids) {
+  MarketConfig mc = small_config();
+  mc.max_resubmissions = 2;
+  MarketOrchestrator market(mc);
+  market.submit(make_request(1, 0.000001));  // cannot afford anything
+  market.submit(make_offer(1, 50.0));
+  market.drain(/*max_rounds=*/10);
+  EXPECT_EQ(market.stats().requests_allocated, 0u);
+  EXPECT_EQ(market.stats().requests_abandoned, 1u);
+  EXPECT_LE(market.stats().rounds, 4u);  // 1 initial + 2 retries + drain stop
+}
+
+TEST(MarketOrchestrator, DrainStopsWhenQueueEmpties) {
+  MarketOrchestrator market(small_config());
+  market.submit(make_request(1, 5.0));
+  market.submit(make_offer(1, 0.1));
+  market.submit(make_offer(2, 0.2));
+  market.drain(20);
+  EXPECT_LE(market.stats().rounds, 5u);
+  EXPECT_EQ(market.stats().requests_allocated, 1u);
+}
+
+TEST(MarketOrchestrator, StatsAreInternallyConsistent) {
+  MarketOrchestrator market(small_config());
+  Rng rng(9);
+  for (std::uint64_t i = 1; i <= 12; ++i) {
+    market.submit(make_request(i, rng.uniform(0.5, 4.0)));
+  }
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    market.submit(make_offer(i, rng.uniform(0.05, 0.6)));
+  }
+  market.drain(10);
+
+  const MarketStats& st = market.stats();
+  EXPECT_EQ(st.requests_submitted, 12u);
+  EXPECT_LE(st.requests_allocated + st.requests_abandoned, st.requests_submitted);
+  const std::size_t latency_sum =
+      std::accumulate(st.allocation_latency.begin(), st.allocation_latency.end(), std::size_t{0});
+  EXPECT_EQ(latency_sum, st.requests_allocated);
+  EXPECT_GE(st.allocation_rate(), 0.0);
+  EXPECT_LE(st.allocation_rate(), 1.0);
+  EXPECT_GE(st.total_welfare, 0.0);
+  // Chain advanced one block per round.
+  EXPECT_EQ(market.protocol().chain().height(), st.rounds);
+}
+
+TEST(MarketOrchestrator, ValidatesOnSubmit) {
+  MarketOrchestrator market(small_config());
+  auction::Request bad = make_request(1, -1.0);
+  EXPECT_THROW(market.submit(bad), precondition_error);
+}
+
+}  // namespace
+}  // namespace decloud::ledger

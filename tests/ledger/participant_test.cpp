@@ -1,0 +1,116 @@
+#include "ledger/participant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ledger/codec.hpp"
+
+namespace decloud::ledger {
+namespace {
+
+auction::Request simple_request(std::uint64_t id) {
+  auction::Request r;
+  r.id = RequestId(id);
+  r.client = ClientId(id);
+  r.resources.set(auction::ResourceSchema::kCpu, 1.0);
+  r.window_end = 7200;
+  r.duration = 3600;
+  r.bid = 1.0;
+  return r;
+}
+
+auction::Offer simple_offer(std::uint64_t id) {
+  auction::Offer o;
+  o.id = OfferId(id);
+  o.provider = ProviderId(id);
+  o.resources.set(auction::ResourceSchema::kCpu, 4.0);
+  o.window_end = 86400;
+  o.bid = 0.5;
+  return o;
+}
+
+BlockPreamble preamble_over(std::vector<SealedBid> bids) {
+  BlockPreamble p;
+  p.header.bids_root = bids_merkle_root(bids);
+  p.sealed_bids = std::move(bids);
+  const auto hb = p.header.bytes();
+  p.pow = *crypto::solve_pow({hb.data(), hb.size()}, 8);
+  return p;
+}
+
+TEST(Participant, SubmittedBidsAreSignedAndSealed) {
+  Rng rng(1);
+  Participant wallet(rng);
+  const SealedBid bid = wallet.submit_request(simple_request(1), rng);
+  EXPECT_EQ(bid.kind, BidKind::kRequest);
+  EXPECT_EQ(bid.sender, wallet.public_key());
+  EXPECT_TRUE(verify_sealed_bid(bid));
+  EXPECT_EQ(wallet.pending_bids(), 1u);
+}
+
+TEST(Participant, DistinctTemporaryKeysPerBid) {
+  Rng rng(2);
+  Participant wallet(rng);
+  const SealedBid a = wallet.submit_request(simple_request(1), rng);
+  const SealedBid b = wallet.submit_request(simple_request(1), rng);
+  // Same plaintext, fresh key+nonce → different ciphertexts and digests.
+  EXPECT_NE(a.ciphertext, b.ciphertext);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Participant, RevealsKeysOnlyForOwnIncludedBids) {
+  Rng rng(3);
+  Participant alice(rng);
+  Participant bob(rng);
+  const SealedBid a1 = alice.submit_request(simple_request(1), rng);
+  const SealedBid a2 = alice.submit_offer(simple_offer(2), rng);
+  const SealedBid b1 = bob.submit_request(simple_request(3), rng);
+
+  // The preamble includes a1 and b1 but not a2.
+  const BlockPreamble p = preamble_over({a1, b1});
+  const auto alice_reveals = alice.on_preamble(p);
+  ASSERT_EQ(alice_reveals.size(), 1u);
+  EXPECT_EQ(alice_reveals[0].bid_digest, a1.digest());
+  EXPECT_EQ(alice.pending_bids(), 1u);  // a2 still pending
+
+  const auto bob_reveals = bob.on_preamble(p);
+  ASSERT_EQ(bob_reveals.size(), 1u);
+  EXPECT_EQ(bob_reveals[0].bid_digest, b1.digest());
+}
+
+TEST(Participant, RevealedKeyOpensTheBid) {
+  Rng rng(4);
+  Participant wallet(rng);
+  const auction::Request r = simple_request(5);
+  const SealedBid bid = wallet.submit_request(r, rng);
+  const BlockPreamble p = preamble_over({bid});
+  const auto reveals = wallet.on_preamble(p);
+  ASSERT_EQ(reveals.size(), 1u);
+  const auto opened = open_bid(bid, reveals[0].key);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(decode_request(*opened).id, r.id);
+  EXPECT_DOUBLE_EQ(decode_request(*opened).bid, r.bid);
+}
+
+TEST(Participant, KeysRetiredAfterReveal) {
+  Rng rng(5);
+  Participant wallet(rng);
+  const SealedBid bid = wallet.submit_request(simple_request(1), rng);
+  const BlockPreamble p = preamble_over({bid});
+  EXPECT_EQ(wallet.on_preamble(p).size(), 1u);
+  EXPECT_EQ(wallet.pending_bids(), 0u);
+  EXPECT_TRUE(wallet.on_preamble(p).empty());  // second preamble: nothing left
+}
+
+TEST(Participant, IgnoresForeignPreambles) {
+  Rng rng(6);
+  Participant wallet(rng);
+  Participant other(rng);
+  (void)wallet.submit_request(simple_request(1), rng);
+  const SealedBid foreign = other.submit_request(simple_request(2), rng);
+  const BlockPreamble p = preamble_over({foreign});
+  EXPECT_TRUE(wallet.on_preamble(p).empty());
+  EXPECT_EQ(wallet.pending_bids(), 1u);
+}
+
+}  // namespace
+}  // namespace decloud::ledger

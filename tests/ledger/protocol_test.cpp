@@ -1,0 +1,147 @@
+#include "ledger/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "auction/verify.hpp"
+#include "common/rng.hpp"
+
+namespace decloud::ledger {
+namespace {
+
+constexpr unsigned kDifficulty = 8;
+
+ConsensusParams params() { return {.difficulty_bits = kDifficulty}; }
+
+auction::Request simple_request(std::uint64_t id, Money bid) {
+  auction::Request r;
+  r.id = RequestId(id);
+  r.client = ClientId(id);
+  r.submitted = static_cast<Time>(id);
+  r.resources.set(auction::ResourceSchema::kCpu, 1.0);
+  r.window_end = 7200;
+  r.duration = 3600;
+  r.bid = bid;
+  return r;
+}
+
+auction::Offer simple_offer(std::uint64_t id, Money bid) {
+  auction::Offer o;
+  o.id = OfferId(id);
+  o.provider = ProviderId(id);
+  o.submitted = static_cast<Time>(id);
+  o.resources.set(auction::ResourceSchema::kCpu, 4.0);
+  o.window_end = 86400;
+  o.bid = bid;
+  return o;
+}
+
+TEST(Mempool, DrainsInSubmissionOrder) {
+  Mempool pool;
+  Rng rng(1);
+  Participant wallet(rng);
+  pool.submit(wallet.submit_request(simple_request(1, 1.0), rng));
+  pool.submit(wallet.submit_request(simple_request(2, 2.0), rng));
+  pool.submit(wallet.submit_request(simple_request(3, 3.0), rng));
+  EXPECT_EQ(pool.size(), 3u);
+  const auto two = pool.drain(2);
+  EXPECT_EQ(two.size(), 2u);
+  EXPECT_EQ(pool.size(), 1u);
+  const auto rest = pool.drain();
+  EXPECT_EQ(rest.size(), 1u);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(Protocol, FullRoundProducesAcceptedBlock) {
+  LedgerProtocol protocol(params());
+  Rng rng(2);
+  Participant clients(rng);
+  Participant providers(rng);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    protocol.mempool().submit(
+        clients.submit_request(simple_request(i, 1.0 + static_cast<double>(i)), rng));
+  }
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    protocol.mempool().submit(
+        providers.submit_offer(simple_offer(i, 0.1 + 0.05 * static_cast<double>(i)), rng));
+  }
+
+  const std::vector<Miner> verifiers(3, Miner(params()));
+  const RoundOutcome outcome = protocol.run_round({&clients, &providers}, verifiers, 1000);
+
+  EXPECT_TRUE(outcome.block_accepted);
+  EXPECT_EQ(outcome.verifier_votes, (std::vector<bool>{true, true, true}));
+  EXPECT_EQ(protocol.chain().height(), 1u);
+  EXPECT_EQ(outcome.snapshot.requests.size(), 6u);
+  EXPECT_EQ(outcome.snapshot.offers.size(), 4u);
+  EXPECT_FALSE(outcome.result.matches.empty());
+  EXPECT_EQ(outcome.agreements.size(), outcome.result.matches.size());
+  // The on-chain allocation satisfies the economic invariants.
+  EXPECT_TRUE(auction::verify_invariants(outcome.snapshot, outcome.result,
+                                         protocol.params().auction)
+                  .ok());
+}
+
+TEST(Protocol, EmptyRoundStillExtendsChain) {
+  LedgerProtocol protocol(params());
+  const RoundOutcome outcome = protocol.run_round({}, {Miner(params())}, 0);
+  EXPECT_TRUE(outcome.block_accepted);
+  EXPECT_TRUE(outcome.result.matches.empty());
+  EXPECT_EQ(protocol.chain().height(), 1u);
+}
+
+TEST(Protocol, SuccessiveRoundsLinkBlocks) {
+  LedgerProtocol protocol(params());
+  Rng rng(3);
+  Participant wallet(rng);
+  const std::vector<Miner> verifiers(2, Miner(params()));
+
+  protocol.mempool().submit(wallet.submit_request(simple_request(1, 2.0), rng));
+  protocol.mempool().submit(wallet.submit_offer(simple_offer(1, 0.1), rng));
+  ASSERT_TRUE(protocol.run_round({&wallet}, verifiers, 100).block_accepted);
+
+  protocol.mempool().submit(wallet.submit_request(simple_request(2, 2.0), rng));
+  ASSERT_TRUE(protocol.run_round({&wallet}, verifiers, 200).block_accepted);
+
+  ASSERT_EQ(protocol.chain().height(), 2u);
+  EXPECT_EQ(protocol.chain().blocks()[1].preamble.header.prev_hash,
+            protocol.chain().blocks()[0].preamble.hash());
+}
+
+TEST(Protocol, AgreementsFlowThroughContract) {
+  LedgerProtocol protocol(params());
+  Rng rng(4);
+  Participant wallet(rng);
+  // Two offers so the price can come from the spare (SBBA luck case).
+  protocol.mempool().submit(wallet.submit_request(simple_request(1, 5.0), rng));
+  protocol.mempool().submit(wallet.submit_offer(simple_offer(1, 0.1), rng));
+  protocol.mempool().submit(wallet.submit_offer(simple_offer(2, 0.2), rng));
+  const RoundOutcome outcome = protocol.run_round({&wallet}, {Miner(params())}, 0);
+  ASSERT_TRUE(outcome.block_accepted);
+  ASSERT_EQ(outcome.agreements.size(), 1u);
+
+  const ClientId client = outcome.snapshot.requests[outcome.result.matches[0].request].client;
+  EXPECT_TRUE(protocol.contract().accept(outcome.agreements[0], client));
+  EXPECT_EQ(protocol.contract().find(outcome.agreements[0])->state, AgreementState::kActive);
+}
+
+TEST(Protocol, AbsentParticipantsBidsStaySealed) {
+  // One participant never sees the preamble (offline): its bid cannot be
+  // opened and its requests sit out the round.
+  LedgerProtocol protocol(params());
+  Rng rng(5);
+  Participant online(rng);
+  Participant offline(rng);
+  protocol.mempool().submit(online.submit_request(simple_request(1, 5.0), rng));
+  protocol.mempool().submit(offline.submit_request(simple_request(2, 9.0), rng));
+  protocol.mempool().submit(online.submit_offer(simple_offer(1, 0.1), rng));
+  protocol.mempool().submit(online.submit_offer(simple_offer(2, 0.2), rng));
+
+  // Only `online` participates in the reveal phase.
+  const RoundOutcome outcome = protocol.run_round({&online}, {Miner(params())}, 0);
+  ASSERT_TRUE(outcome.block_accepted);
+  EXPECT_EQ(outcome.snapshot.requests.size(), 1u);  // offline's request missing
+  EXPECT_EQ(offline.pending_bids(), 1u);            // still awaiting a preamble
+}
+
+}  // namespace
+}  // namespace decloud::ledger

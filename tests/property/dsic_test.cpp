@@ -1,0 +1,136 @@
+// Empirical incentive-compatibility check (Section IV-D of the paper).
+//
+// For random markets and random unilateral misreports, a participant's
+// utility — evaluated at its TRUE valuation/cost — must not improve by
+// lying.  The clustered heuristic pipeline randomizes imbalanced
+// allocations from the block evidence, so utilities are compared as
+// averages over several evidence seeds (the DSIC argument for the
+// randomized step is in expectation).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "auction/mechanism.hpp"
+#include "market_fixtures.hpp"
+
+namespace decloud::auction {
+namespace {
+
+using property::client_utility;
+using property::provider_utility;
+using property::random_market;
+
+constexpr std::uint64_t kEvidenceSeeds[] = {11, 23, 37, 59, 71, 83, 97, 113};
+
+Money mean_client_utility(const MarketSnapshot& truth, const MarketSnapshot& reported,
+                          ClientId client, const AuctionConfig& cfg) {
+  Money total = 0.0;
+  for (const std::uint64_t seed : kEvidenceSeeds) {
+    total += client_utility(truth, DeCloudAuction(cfg).run(reported, seed), client);
+  }
+  return total / static_cast<Money>(std::size(kEvidenceSeeds));
+}
+
+Money mean_provider_utility(const MarketSnapshot& truth, const MarketSnapshot& reported,
+                            ProviderId provider, const AuctionConfig& cfg) {
+  Money total = 0.0;
+  for (const std::uint64_t seed : kEvidenceSeeds) {
+    total += provider_utility(truth, DeCloudAuction(cfg).run(reported, seed), provider);
+  }
+  return total / static_cast<Money>(std::size(kEvidenceSeeds));
+}
+
+class DsicSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DsicSweep, ClientCannotGainByMisreportingValuation) {
+  Rng rng(GetParam());
+  const MarketSnapshot truth = random_market(rng);
+  const AuctionConfig cfg;
+
+  std::size_t gains = 0;
+  std::size_t trials = 0;
+  for (std::size_t target = 0; target < truth.requests.size(); target += 5) {
+    const ClientId client = truth.requests[target].client;
+    const Money truthful = mean_client_utility(truth, truth, client, cfg);
+    for (const double factor : {0.5, 0.8, 1.25, 2.0}) {
+      MarketSnapshot reported = truth;
+      // The client misreports ALL its requests by the same factor.
+      for (auto& r : reported.requests) {
+        if (r.client == client) r.bid *= factor;
+      }
+      const Money lied = mean_client_utility(truth, reported, client, cfg);
+      ++trials;
+      if (lied > truthful + 1e-9 + 0.05 * std::abs(truthful)) ++gains;
+    }
+  }
+  // See ProviderCannotGainByMisreportingCost for why the bound is a
+  // frequency cap rather than zero.
+  EXPECT_LE(gains, trials / 4) << gains << " profitable deviations in " << trials << " trials";
+}
+
+TEST_P(DsicSweep, ProviderCannotGainByMisreportingCost) {
+  Rng rng(GetParam() * 7919);
+  const MarketSnapshot truth = random_market(rng);
+  const AuctionConfig cfg;
+
+  std::size_t gains = 0;
+  std::size_t trials = 0;
+  for (std::size_t target = 0; target < truth.offers.size(); target += 3) {
+    const ProviderId provider = truth.offers[target].provider;
+    const Money truthful = mean_provider_utility(truth, truth, provider, cfg);
+    for (const double factor : {0.5, 0.8, 1.25, 2.0}) {
+      MarketSnapshot reported = truth;
+      for (auto& o : reported.offers) {
+        if (o.provider == provider) o.bid *= factor;
+      }
+      const Money lied = mean_provider_utility(truth, reported, provider, cfg);
+      ++trials;
+      if (lied > truthful + 1e-9 + 0.05 * std::abs(truthful)) ++gains;
+    }
+  }
+  // The clustered, capacity-constrained pipeline is an *approximately*
+  // DSIC heuristic: the idealized core (McAfee/SBBA) is exactly truthful
+  // (see mcafee_test.cpp), and the lottery neutralizes the systematic
+  // cost-shading channel, but residual edges around mini-auction
+  // boundaries remain (the paper's own treatment of these cases is
+  // informal).  We bound their frequency instead of asserting zero.
+  EXPECT_LE(gains, trials / 4) << gains << " profitable deviations in " << trials << " trials";
+}
+
+TEST_P(DsicSweep, LateSubmissionNeverHelps) {
+  // Tie-breaking prefers earlier submissions (Section IV-D): delaying a
+  // request cannot increase the client's mean utility.
+  Rng rng(GetParam() * 104729);
+  const MarketSnapshot truth = random_market(rng);
+  const AuctionConfig cfg;
+
+  const ClientId client = truth.requests[0].client;
+  const Money on_time = mean_client_utility(truth, truth, client, cfg);
+
+  MarketSnapshot delayed = truth;
+  for (auto& r : delayed.requests) {
+    if (r.client == client) r.submitted += 1000000;
+  }
+  const Money late = mean_client_utility(truth, delayed, client, cfg);
+  EXPECT_LE(late, on_time + 1e-9 + 0.05 * std::abs(on_time));
+}
+
+INSTANTIATE_TEST_SUITE_P(Markets, DsicSweep, ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(Dsic, OverbiddingAboveThresholdNeverPaysMoreThanValue) {
+  // Direct check of IR under manipulation: even a wild overbid can at most
+  // win at the clearing price, never pay more than the REPORTED bid — and
+  // a truthful loser that overbids pays more than its true value, i.e.
+  // negative utility, matching case 1 of the paper's argument.
+  Rng rng(7);
+  const MarketSnapshot truth = random_market(rng);
+  MarketSnapshot reported = truth;
+  reported.requests[0].bid = truth.requests[0].bid * 50.0;  // extreme overbid
+  const RoundResult r = DeCloudAuction{}.run(reported, 3);
+  for (const Match& m : r.matches) {
+    EXPECT_LE(m.payment, reported.requests[m.request].bid + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace decloud::auction

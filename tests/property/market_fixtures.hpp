@@ -1,0 +1,82 @@
+// Random-market fixtures shared by the property suites.
+#pragma once
+
+#include <vector>
+
+#include "auction/allocation.hpp"
+#include "auction/bid.hpp"
+#include "common/rng.hpp"
+
+namespace decloud::auction::property {
+
+struct MarketParams {
+  std::size_t num_requests = 24;
+  std::size_t num_offers = 10;
+  std::size_t num_clients = 12;
+  std::size_t num_providers = 5;
+};
+
+/// Draws a random but structurally valid market: heterogeneous sizes,
+/// windows and prices; several bids per client/provider.
+inline MarketSnapshot random_market(Rng& rng, const MarketParams& params = {}) {
+  MarketSnapshot s;
+  for (std::size_t i = 0; i < params.num_requests; ++i) {
+    Request r;
+    r.id = RequestId(i);
+    r.client = ClientId(i % params.num_clients);
+    r.submitted = static_cast<Time>(i);
+    r.resources.set(ResourceSchema::kCpu, rng.uniform(0.25, 4.0));
+    r.resources.set(ResourceSchema::kMemory, rng.uniform(0.5, 16.0));
+    r.resources.set(ResourceSchema::kDisk, rng.uniform(1.0, 100.0));
+    if (rng.bernoulli(0.3)) r.significance.set(ResourceSchema::kMemory, rng.uniform(0.3, 0.9));
+    r.duration = rng.uniform_int(600, 7200);
+    r.window_start = 0;
+    r.window_end = r.duration + rng.uniform_int(0, 3600);
+    r.bid = rng.uniform(0.05, 3.0);
+    s.requests.push_back(std::move(r));
+  }
+  for (std::size_t i = 0; i < params.num_offers; ++i) {
+    Offer o;
+    o.id = OfferId(i);
+    o.provider = ProviderId(i % params.num_providers);
+    o.submitted = static_cast<Time>(i);
+    const double scale = rng.uniform(1.0, 4.0);
+    o.resources.set(ResourceSchema::kCpu, 4.0 * scale);
+    o.resources.set(ResourceSchema::kMemory, 16.0 * scale);
+    o.resources.set(ResourceSchema::kDisk, 100.0 * scale);
+    o.window_start = 0;
+    o.window_end = 86400;
+    o.bid = rng.uniform(0.2, 2.0);
+    s.offers.push_back(std::move(o));
+  }
+  return s;
+}
+
+/// Client utility at TRUE valuation: u_r = Σ_matched (v_r − p_r); zero when
+/// unallocated (Section IV-D).
+inline Money client_utility(const MarketSnapshot& truth, const RoundResult& result,
+                            ClientId client) {
+  Money u = 0.0;
+  for (const Match& m : result.matches) {
+    if (truth.requests[m.request].client == client) {
+      u += truth.requests[m.request].bid - m.payment;
+    }
+  }
+  return u;
+}
+
+/// Provider utility at TRUE cost: u_o = Σ_offers (π_o − φ_total·c_o), the
+/// revenue minus the cost of the capacity fraction actually sold.
+inline Money provider_utility(const MarketSnapshot& truth, const RoundResult& result,
+                              ProviderId provider) {
+  Money u = 0.0;
+  for (const Match& m : result.matches) {
+    const Offer& o = truth.offers[m.offer];
+    if (o.provider == provider) {
+      u += m.payment - resource_fraction(truth.requests[m.request], o) * o.bid;
+    }
+  }
+  return u;
+}
+
+}  // namespace decloud::auction::property

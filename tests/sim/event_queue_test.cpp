@@ -1,0 +1,84 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace decloud::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, FifoWithinSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1, [&] {
+    ++fired;
+    q.schedule_in(5, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 6);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  q.schedule_at(100, [] {});
+  q.run();
+  SimTime when = -1;
+  q.schedule_at(5, [&] { when = q.now(); });  // 5 < now=100: clamped
+  q.run();
+  EXPECT_EQ(when, 100);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(20, [&] { ++fired; });
+  q.schedule_at(30, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, MaxEventsBoundsExecution) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) q.schedule_at(i, [&] { ++fired; });
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, EmptyStates) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.run(), 0u);
+  EXPECT_EQ(q.now(), 0);
+}
+
+}  // namespace
+}  // namespace decloud::sim

@@ -1,0 +1,101 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+
+namespace decloud::sim {
+namespace {
+
+/// The smallest message to push through the overlay in tests.
+Message probe() { return VoteMsg{.height = 1, .accept = true, .voter = NodeId(0)}; }
+
+struct Fixture {
+  Rng rng{1};
+  EventQueue queue;
+  Network net{4, LatencyConfig{.base_ms = 10, .jitter_ms = 20}, queue, rng};
+};
+
+TEST(Network, LatenciesWithinConfiguredBounds) {
+  Fixture f;
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      const SimTime l = f.net.link_latency(NodeId(a), NodeId(b));
+      EXPECT_GE(l, 10);
+      EXPECT_LT(l, 30);
+    }
+  }
+}
+
+TEST(Network, SendDeliversAfterLinkLatency) {
+  Fixture f;
+  f.net.attach(NodeId(0), [](NodeId, const Message&) {});
+  SimTime delivered = -1;
+  NodeId from_seen;
+  f.net.attach(NodeId(1), [&](NodeId from, const Message&) {
+    delivered = f.queue.now();
+    from_seen = from;
+  });
+  f.net.send(NodeId(0), NodeId(1), probe());
+  f.queue.run();
+  EXPECT_EQ(delivered, f.net.link_latency(NodeId(0), NodeId(1)));
+  EXPECT_EQ(from_seen, NodeId(0));
+}
+
+TEST(Network, BroadcastReachesEveryoneButSender) {
+  Fixture f;
+  std::vector<int> received(4, 0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    f.net.attach(NodeId(i), [&received, i](NodeId, const Message&) { received[i]++; });
+  }
+  f.net.broadcast(NodeId(2), probe());
+  f.queue.run();
+  EXPECT_EQ(received, (std::vector<int>{1, 1, 0, 1}));
+  EXPECT_EQ(f.net.messages_sent(), 3u);
+}
+
+TEST(Network, MessagePayloadSurvivesTransit) {
+  Fixture f;
+  f.net.attach(NodeId(0), [](NodeId, const Message&) {});
+  bool checked = false;
+  f.net.attach(NodeId(1), [&](NodeId, const Message& m) {
+    const auto* vote = std::get_if<VoteMsg>(&m);
+    ASSERT_NE(vote, nullptr);
+    EXPECT_EQ(vote->height, 42u);
+    EXPECT_FALSE(vote->accept);
+    checked = true;
+  });
+  f.net.send(NodeId(0), NodeId(1), VoteMsg{.height = 42, .accept = false, .voter = NodeId(0)});
+  f.queue.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Network, SendToUnattachedNodeRejected) {
+  Fixture f;
+  f.net.attach(NodeId(0), [](NodeId, const Message&) {});
+  EXPECT_THROW(f.net.send(NodeId(0), NodeId(3), probe()), precondition_error);
+}
+
+TEST(Network, OutOfRangeNodesRejected) {
+  Fixture f;
+  EXPECT_THROW(f.net.attach(NodeId(9), [](NodeId, const Message&) {}), precondition_error);
+  EXPECT_THROW(f.net.link_latency(NodeId(0), NodeId(9)), precondition_error);
+}
+
+TEST(Network, DeterministicLatenciesPerSeed) {
+  Rng r1(7);
+  Rng r2(7);
+  EventQueue q1;
+  EventQueue q2;
+  Network n1(5, {}, q1, r1);
+  Network n2(5, {}, q2, r2);
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = 0; b < 5; ++b) {
+      EXPECT_EQ(n1.link_latency(NodeId(a), NodeId(b)), n2.link_latency(NodeId(a), NodeId(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace decloud::sim

@@ -1,0 +1,85 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+
+namespace decloud::stats {
+namespace {
+
+TEST(Histogram, BinsSamplesUniformly) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.count(b), 1.0) << "bin " << b;
+  EXPECT_EQ(h.total(), 10.0);
+}
+
+TEST(Histogram, ClampsOutOfRangeSamples) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1.0);
+  EXPECT_EQ(h.count(3), 1.0);
+  EXPECT_EQ(h.total(), 2.0);
+}
+
+TEST(Histogram, UpperBoundFallsInLastBin) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(1.0);  // hi itself clamps into the last bin
+  EXPECT_EQ(h.count(3), 1.0);
+}
+
+TEST(Histogram, WeightedSamples) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 3.0);
+  h.add(0.75, 1.0);
+  EXPECT_EQ(h.count(0), 3.0);
+  EXPECT_EQ(h.count(1), 1.0);
+  const auto d = h.to_distribution();
+  EXPECT_DOUBLE_EQ(d[0], 0.75);
+  EXPECT_DOUBLE_EQ(d[1], 0.25);
+}
+
+TEST(Histogram, NegativeWeightRejected) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.add(0.5, -1.0), precondition_error);
+}
+
+TEST(Histogram, EmptyDistributionIsUniform) {
+  Histogram h(0.0, 1.0, 4);
+  const auto d = h.to_distribution();
+  for (const double p : d) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(Histogram, InvalidConstructionRejected) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), precondition_error);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), precondition_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), precondition_error);
+}
+
+TEST(Histogram, AddAllMatchesLoop) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  const std::vector<double> samples = {0.1, 0.3, 0.6, 0.9, 0.95};
+  a.add_all(samples);
+  for (const double s : samples) b.add(s);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a.count(i), b.count(i));
+}
+
+TEST(Normalize, SumsToOne) {
+  const std::vector<double> w = {1.0, 2.0, 7.0};
+  const auto d = normalize(w);
+  EXPECT_DOUBLE_EQ(d[0] + d[1] + d[2], 1.0);
+  EXPECT_DOUBLE_EQ(d[2], 0.7);
+}
+
+TEST(Normalize, AllZeroGivesUniform) {
+  const std::vector<double> w = {0.0, 0.0, 0.0, 0.0};
+  const auto d = normalize(w);
+  for (const double p : d) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(Normalize, EmptyGivesEmpty) { EXPECT_TRUE(normalize(std::vector<double>{}).empty()); }
+
+}  // namespace
+}  // namespace decloud::stats

@@ -1,0 +1,89 @@
+#include "stats/loess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace decloud::stats {
+namespace {
+
+TEST(Loess, EmptyInputGivesEmptyOutput) {
+  EXPECT_TRUE(loess(std::vector<double>{}, std::vector<double>{}).empty());
+}
+
+TEST(Loess, ConstantDataStaysConstant) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(5.0);
+  }
+  for (const auto& pt : loess(x, y)) EXPECT_NEAR(pt.y, 5.0, 1e-9);
+}
+
+TEST(Loess, RecoversLinearTrendExactly) {
+  // Local linear regression reproduces a line exactly.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(2.0 * static_cast<double>(i) + 1.0);
+  }
+  for (const auto& pt : loess(x, y, {.span = 0.4})) {
+    EXPECT_NEAR(pt.y, 2.0 * pt.x + 1.0, 1e-6);
+  }
+}
+
+TEST(Loess, SmoothsNoiseTowardTrend) {
+  Rng rng(1);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(0.5 * static_cast<double>(i) + rng.normal(0.0, 5.0));
+  }
+  double max_err = 0.0;
+  for (const auto& pt : loess(x, y, {.span = 0.3})) {
+    max_err = std::max(max_err, std::abs(pt.y - 0.5 * pt.x));
+  }
+  // Interior errors shrink well below the noise σ; edges are looser.
+  EXPECT_LT(max_err, 5.0);
+}
+
+TEST(Loess, GridOptionControlsEvaluationPoints) {
+  std::vector<double> x = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<double> y = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto out = loess(x, y, {.span = 0.5, .grid_points = 5});
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(out.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(out.back().x, 9.0);
+}
+
+TEST(Loess, UnsortedInputHandled) {
+  const std::vector<double> x = {5, 1, 3, 2, 4, 0};
+  const std::vector<double> y = {10, 2, 6, 4, 8, 0};  // y = 2x
+  for (const auto& pt : loess(x, y, {.span = 0.6})) EXPECT_NEAR(pt.y, 2.0 * pt.x, 1e-6);
+}
+
+TEST(Loess, DegenerateAllSameXFallsBackToMean) {
+  const std::vector<double> x = {1, 1, 1, 1};
+  const std::vector<double> y = {2, 4, 6, 8};
+  const auto out = loess(x, y, {.span = 1.0});
+  for (const auto& pt : out) EXPECT_NEAR(pt.y, 5.0, 1e-9);
+}
+
+TEST(Loess, PreconditionsChecked) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1};
+  EXPECT_THROW(loess(x, y), precondition_error);
+  const std::vector<double> ok = {1, 2};
+  EXPECT_THROW(loess(ok, ok, {.span = 0.0}), precondition_error);
+  EXPECT_THROW(loess(ok, ok, {.span = 1.5}), precondition_error);
+}
+
+}  // namespace
+}  // namespace decloud::stats

@@ -1,0 +1,84 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace decloud::stats {
+namespace {
+
+TEST(Accumulator, EmptyDefaults) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator a;
+  a.add(7.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 7.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+}
+
+TEST(Accumulator, KnownMeanAndVariance) {
+  Accumulator a;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(v);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  // Sample variance with n−1 = 7: Σ(x−5)² = 32 → 32/7.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(a.stddev() * a.stddev(), a.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, HandlesNegativeValues) {
+  Accumulator a;
+  a.add(-10.0);
+  a.add(10.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> s = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 0.5), 3.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> s = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(s, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(s, 0.75), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> s = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(s, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 0.37), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 1.0), 42.0);
+}
+
+TEST(Percentile, Preconditions) {
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 0.5), precondition_error);
+  const std::vector<double> s = {1.0};
+  EXPECT_THROW(percentile(s, -0.1), precondition_error);
+  EXPECT_THROW(percentile(s, 1.1), precondition_error);
+}
+
+TEST(Mean, BasicAndEmpty) {
+  const std::vector<double> s = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(s), 2.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace decloud::stats

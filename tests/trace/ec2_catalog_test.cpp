@@ -1,0 +1,90 @@
+#include "trace/ec2_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "auction/bid.hpp"
+#include "common/ensure.hpp"
+
+namespace decloud::trace {
+namespace {
+
+TEST(M5Family, MatchesPaperEnvelope) {
+  // "providers' resources in a range between 2-16 CPU cores and 8-64 GB RAM"
+  const auto family = m5_family();
+  ASSERT_EQ(family.size(), 4u);
+  EXPECT_DOUBLE_EQ(family.front().vcpus, 2.0);
+  EXPECT_DOUBLE_EQ(family.back().vcpus, 16.0);
+  EXPECT_DOUBLE_EQ(family.front().memory_gb, 8.0);
+  EXPECT_DOUBLE_EQ(family.back().memory_gb, 64.0);
+}
+
+TEST(M5Family, PricingScalesLinearlyWithSize) {
+  const auto family = m5_family();
+  for (std::size_t i = 1; i < family.size(); ++i) {
+    EXPECT_NEAR(family[i].price_per_hour / family[i - 1].price_per_hour, 2.0, 1e-9);
+    EXPECT_NEAR(family[i].vcpus / family[i - 1].vcpus, 2.0, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(family[0].price_per_hour, 0.096);  // 2018 us-east-1 m5.large
+}
+
+TEST(Ec2OfferFactory, OfferCarriesCatalogResources) {
+  Ec2OfferFactory factory({.cost_spread = 0.0});
+  Rng rng(1);
+  const auto o = factory.make_offer_of_type(OfferId(7), ProviderId(3), 100, m5_family()[1], rng);
+  EXPECT_EQ(o.id, OfferId(7));
+  EXPECT_EQ(o.provider, ProviderId(3));
+  EXPECT_EQ(o.submitted, 100);
+  EXPECT_DOUBLE_EQ(o.resources.get(auction::ResourceSchema::kCpu), 4.0);
+  EXPECT_DOUBLE_EQ(o.resources.get(auction::ResourceSchema::kMemory), 16.0);
+  EXPECT_NO_THROW(auction::validate(o));
+}
+
+TEST(Ec2OfferFactory, CostIsPricePerHourTimesWindow) {
+  Ec2OfferFactory factory({.window_length = 2 * 3600, .cost_spread = 0.0});
+  Rng rng(1);
+  const auto o = factory.make_offer_of_type(OfferId(0), ProviderId(0), 0, m5_family()[0], rng);
+  EXPECT_NEAR(o.bid, 0.096 * 2.0, 1e-12);
+  EXPECT_EQ(o.window_length(), 2 * 3600);
+}
+
+TEST(Ec2OfferFactory, JitterStaysWithinSpread) {
+  Ec2OfferFactory factory({.window_length = 3600, .cost_spread = 0.1});
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto o = factory.make_offer_of_type(OfferId(0), ProviderId(0), 0, m5_family()[2], rng);
+    EXPECT_GE(o.bid, 0.384 * 0.9 - 1e-12);
+    EXPECT_LE(o.bid, 0.384 * 1.1 + 1e-12);
+  }
+}
+
+TEST(Ec2OfferFactory, UniformSamplingCoversFamily) {
+  Ec2OfferFactory factory;
+  Rng rng(9);
+  std::array<int, 4> counts{};
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const auto o = factory.make_offer(OfferId(i), ProviderId(0), 0, rng);
+    const double cpus = o.resources.get(auction::ResourceSchema::kCpu);
+    for (std::size_t k = 0; k < 4; ++k) {
+      if (cpus == m5_family()[k].vcpus) counts[k]++;
+    }
+  }
+  for (const int c : counts) EXPECT_GT(c, 50);  // ~100 each
+}
+
+TEST(Ec2OfferFactory, WeightedSamplingFollowsWeights) {
+  Ec2OfferFactory factory({.type_weights = {0.0, 0.0, 0.0, 1.0}});
+  Rng rng(2);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto o = factory.make_offer(OfferId(i), ProviderId(0), 0, rng);
+    EXPECT_DOUBLE_EQ(o.resources.get(auction::ResourceSchema::kCpu), 16.0);
+  }
+}
+
+TEST(Ec2OfferFactory, WrongWeightCountRejected) {
+  Ec2OfferFactory factory({.type_weights = {1.0, 2.0}});
+  Rng rng(2);
+  EXPECT_THROW(factory.make_offer(OfferId(0), ProviderId(0), 0, rng), precondition_error);
+}
+
+}  // namespace
+}  // namespace decloud::trace

@@ -1,0 +1,109 @@
+#include "trace/google_csv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decloud::trace {
+namespace {
+
+constexpr const char* kGoodCsv =
+    "# submit,client,cpu,mem,disk,duration\n"
+    "0,1,2.0,8.0,20.0,3600\n"
+    "60,2,0.5,1.5,5.0,600\n"
+    "\n"
+    "120,1,16.0,64.0,512.0,7200\n";
+
+TEST(GoogleCsv, ParsesWellFormedRows) {
+  const auto result = load_google_csv(std::string(kGoodCsv));
+  EXPECT_TRUE(result.clean());
+  ASSERT_EQ(result.requests.size(), 3u);
+  const auto& r0 = result.requests[0];
+  EXPECT_EQ(r0.client, ClientId(1));
+  EXPECT_EQ(r0.submitted, 0);
+  EXPECT_DOUBLE_EQ(r0.resources.get(auction::ResourceSchema::kCpu), 2.0);
+  EXPECT_DOUBLE_EQ(r0.resources.get(auction::ResourceSchema::kMemory), 8.0);
+  EXPECT_EQ(r0.duration, 3600);
+  EXPECT_DOUBLE_EQ(r0.bid, 0.0);  // priced later by the valuation model
+  EXPECT_NO_THROW(auction::validate(r0));
+}
+
+TEST(GoogleCsv, CommentsAndBlankLinesSkipped) {
+  const auto result = load_google_csv(std::string("# only comments\n\n\n"));
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(result.requests.empty());
+}
+
+TEST(GoogleCsv, IdsStartAtConfiguredBase) {
+  CsvOptions opt;
+  opt.first_request_id = 100;
+  const auto result = load_google_csv(std::string(kGoodCsv), opt);
+  ASSERT_EQ(result.requests.size(), 3u);
+  EXPECT_EQ(result.requests[0].id, RequestId(100));
+  EXPECT_EQ(result.requests[2].id, RequestId(102));
+}
+
+TEST(GoogleCsv, WindowSlackApplied) {
+  CsvOptions opt;
+  opt.window_slack = 2.0;
+  const auto result = load_google_csv(std::string("0,1,1,1,1,100\n"), opt);
+  ASSERT_EQ(result.requests.size(), 1u);
+  EXPECT_EQ(result.requests[0].window_end - result.requests[0].window_start, 200);
+}
+
+TEST(GoogleCsv, CapsApplied) {
+  CsvOptions opt;
+  opt.max_cpu = 8.0;
+  opt.max_memory_gb = 32.0;
+  const auto result = load_google_csv(std::string("0,1,100,100,100,60\n"), opt);
+  ASSERT_EQ(result.requests.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.requests[0].resources.get(auction::ResourceSchema::kCpu), 8.0);
+  EXPECT_DOUBLE_EQ(result.requests[0].resources.get(auction::ResourceSchema::kMemory), 32.0);
+  EXPECT_DOUBLE_EQ(result.requests[0].resources.get(auction::ResourceSchema::kDisk), 100.0);
+}
+
+TEST(GoogleCsv, WrongFieldCountReported) {
+  const auto result = load_google_csv(std::string("0,1,2.0,8.0,20.0\n"));
+  EXPECT_TRUE(result.requests.empty());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].find("line 1"), std::string::npos);
+  EXPECT_NE(result.errors[0].find("6 fields"), std::string::npos);
+}
+
+TEST(GoogleCsv, NonNumericReported) {
+  const auto result = load_google_csv(std::string("0,1,abc,8.0,20.0,60\n"));
+  EXPECT_TRUE(result.requests.empty());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].find("non-numeric"), std::string::npos);
+}
+
+TEST(GoogleCsv, OutOfDomainReported) {
+  const auto bad_cpu = load_google_csv(std::string("0,1,0,8,20,60\n"));
+  EXPECT_EQ(bad_cpu.errors.size(), 1u);
+  const auto bad_duration = load_google_csv(std::string("0,1,1,8,20,0\n"));
+  EXPECT_EQ(bad_duration.errors.size(), 1u);
+  const auto negative_submit = load_google_csv(std::string("-5,1,1,8,20,60\n"));
+  EXPECT_EQ(negative_submit.errors.size(), 1u);
+}
+
+TEST(GoogleCsv, BadRowsDoNotPoisonGoodOnes) {
+  const auto result = load_google_csv(std::string("0,1,1,1,1,60\njunk\n0,2,2,2,2,120\n"));
+  EXPECT_EQ(result.requests.size(), 2u);
+  EXPECT_EQ(result.errors.size(), 1u);
+}
+
+TEST(GoogleCsv, CrLfHandled) {
+  const auto result = load_google_csv(std::string("0,1,1,1,1,60\r\n"));
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.requests.size(), 1u);
+}
+
+TEST(GoogleCsv, ZeroMemoryAndDiskOmitTypes) {
+  // Zero columns mean "does not care" — the resource types stay undeclared
+  // so the QoM does not penalize their absence.
+  const auto result = load_google_csv(std::string("0,1,1,0,0,60\n"));
+  ASSERT_EQ(result.requests.size(), 1u);
+  EXPECT_FALSE(result.requests[0].resources.has(auction::ResourceSchema::kMemory));
+  EXPECT_FALSE(result.requests[0].resources.has(auction::ResourceSchema::kDisk));
+}
+
+}  // namespace
+}  // namespace decloud::trace

@@ -1,0 +1,102 @@
+#include "trace/google_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace decloud::trace {
+namespace {
+
+std::vector<auction::Request> sample(std::size_t n, std::uint64_t seed) {
+  GoogleTraceGenerator gen;
+  Rng rng(seed);
+  std::vector<auction::Request> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(gen.make_request(RequestId(i), ClientId(i), static_cast<Time>(i), rng));
+  }
+  return out;
+}
+
+TEST(GoogleTrace, RequestsAreStructurallyValid) {
+  for (const auto& r : sample(500, 1)) EXPECT_NO_THROW(auction::validate(r));
+}
+
+TEST(GoogleTrace, ResourcesWithinM5Envelope) {
+  const GoogleTraceConfig cfg;
+  for (const auto& r : sample(500, 2)) {
+    EXPECT_GT(r.resources.get(auction::ResourceSchema::kCpu), 0.0);
+    EXPECT_LE(r.resources.get(auction::ResourceSchema::kCpu), cfg.max_cpu);
+    EXPECT_LE(r.resources.get(auction::ResourceSchema::kMemory), cfg.max_memory_gb);
+    EXPECT_LE(r.resources.get(auction::ResourceSchema::kDisk), cfg.max_disk_gb);
+  }
+}
+
+TEST(GoogleTrace, HeavyTailedTaskSizes) {
+  // Google-trace shape: most tasks small, p95 far above the median.
+  std::vector<double> cpus;
+  for (const auto& r : sample(2000, 3)) cpus.push_back(r.resources.get(auction::ResourceSchema::kCpu));
+  const double median = stats::percentile(cpus, 0.5);
+  const double p95 = stats::percentile(cpus, 0.95);
+  EXPECT_LT(median, 3.0);
+  EXPECT_GT(p95 / median, 2.5);
+}
+
+TEST(GoogleTrace, CpuMemoryPositivelyCorrelated) {
+  double sum_c = 0;
+  double sum_m = 0;
+  double sum_cc = 0;
+  double sum_mm = 0;
+  double sum_cm = 0;
+  const auto reqs = sample(3000, 4);
+  const auto n = static_cast<double>(reqs.size());
+  for (const auto& r : reqs) {
+    const double c = r.resources.get(auction::ResourceSchema::kCpu);
+    const double m = r.resources.get(auction::ResourceSchema::kMemory);
+    sum_c += c;
+    sum_m += m;
+    sum_cc += c * c;
+    sum_mm += m * m;
+    sum_cm += c * m;
+  }
+  const double cov = sum_cm / n - (sum_c / n) * (sum_m / n);
+  const double var_c = sum_cc / n - (sum_c / n) * (sum_c / n);
+  const double var_m = sum_mm / n - (sum_m / n) * (sum_m / n);
+  const double rho = cov / std::sqrt(var_c * var_m);
+  EXPECT_GT(rho, 0.3);  // the trace exhibits ρ ≈ 0.5
+}
+
+TEST(GoogleTrace, DurationsRespectMinimumAndWindowSlack) {
+  const GoogleTraceConfig cfg;
+  for (const auto& r : sample(500, 5)) {
+    EXPECT_GE(r.duration, cfg.min_duration);
+    EXPECT_GE(r.window_end - r.window_start, r.duration);
+  }
+}
+
+TEST(GoogleTrace, MedianDurationIsMinutesScale) {
+  std::vector<double> durations;
+  for (const auto& r : sample(2000, 6)) durations.push_back(static_cast<double>(r.duration));
+  const double median = stats::percentile(durations, 0.5);
+  EXPECT_GT(median, 5 * 60.0);     // above 5 minutes
+  EXPECT_LT(median, 4 * 3600.0);   // below 4 hours
+}
+
+TEST(GoogleTrace, DeterministicGivenSeed) {
+  const auto a = sample(50, 7);
+  const auto b = sample(50, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].resources, b[i].resources);
+    EXPECT_EQ(a[i].duration, b[i].duration);
+  }
+}
+
+TEST(GoogleTrace, BidLeftUnpricedForValuationModel) {
+  for (const auto& r : sample(20, 8)) EXPECT_DOUBLE_EQ(r.bid, 0.0);
+}
+
+}  // namespace
+}  // namespace decloud::trace

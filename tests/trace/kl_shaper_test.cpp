@@ -1,0 +1,87 @@
+#include "trace/kl_shaper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+
+namespace decloud::trace {
+namespace {
+
+TEST(KlShaper, ZeroLambdaGivesHighSimilarity) {
+  KlShaperConfig kc;
+  Rng rng(1);
+  const auto m = make_shaped_market(kc, auction::AuctionConfig{}, 0.0, rng);
+  EXPECT_GT(m.similarity, 0.8);
+  EXPECT_LT(m.kl_divergence, 0.2);
+}
+
+TEST(KlShaper, FullLambdaGivesLowSimilarity) {
+  KlShaperConfig kc;
+  Rng rng(2);
+  const auto m = make_shaped_market(kc, auction::AuctionConfig{}, 1.0, rng);
+  EXPECT_LT(m.similarity, 0.3);
+}
+
+TEST(KlShaper, SimilarityDecreasesWithLambda) {
+  KlShaperConfig kc;
+  double prev = 2.0;
+  for (const double lam : {0.0, 0.4, 0.8}) {
+    Rng rng(3);  // same stream per point isolates the λ effect
+    const auto m = make_shaped_market(kc, auction::AuctionConfig{}, lam, rng);
+    EXPECT_LT(m.similarity, prev + 1e-9) << "λ = " << lam;
+    prev = m.similarity;
+  }
+}
+
+TEST(KlShaper, BuildsRequestedPopulation) {
+  KlShaperConfig kc;
+  kc.num_requests = 55;
+  kc.num_offers = 23;
+  Rng rng(4);
+  const auto m = make_shaped_market(kc, auction::AuctionConfig{}, 0.5, rng);
+  EXPECT_EQ(m.snapshot.requests.size(), 55u);
+  EXPECT_EQ(m.snapshot.offers.size(), 23u);
+}
+
+TEST(KlShaper, RequestsCarryFlexibleSignificance) {
+  KlShaperConfig kc;
+  kc.request_significance = 0.8;
+  Rng rng(5);
+  const auto m = make_shaped_market(kc, auction::AuctionConfig{}, 0.2, rng);
+  for (const auto& r : m.snapshot.requests) {
+    EXPECT_DOUBLE_EQ(r.significance_of(auction::ResourceSchema::kCpu), 0.8);
+    EXPECT_FALSE(r.is_strict(auction::ResourceSchema::kCpu));
+  }
+}
+
+TEST(KlShaper, SnapshotIsValidAndPriced) {
+  KlShaperConfig kc;
+  Rng rng(6);
+  const auto m = make_shaped_market(kc, auction::AuctionConfig{}, 0.6, rng);
+  for (const auto& r : m.snapshot.requests) {
+    EXPECT_NO_THROW(auction::validate(r));
+    EXPECT_GT(r.bid, 0.0);
+  }
+  for (const auto& o : m.snapshot.offers) EXPECT_NO_THROW(auction::validate(o));
+}
+
+TEST(KlShaper, ShiftedClassConcentratesDemand) {
+  KlShaperConfig kc;
+  kc.shifted_class = 3;  // m5.4xlarge
+  Rng rng(7);
+  const auto m = make_shaped_market(kc, auction::AuctionConfig{}, 1.0, rng);
+  // At λ = 1 every request targets the 16-core class (load ∈ [0.5, 1]).
+  for (const auto& r : m.snapshot.requests) {
+    EXPECT_GE(r.resources.get(auction::ResourceSchema::kCpu), 8.0 - 1e-9);
+  }
+}
+
+TEST(KlShaper, InvalidLambdaRejected) {
+  KlShaperConfig kc;
+  Rng rng(8);
+  EXPECT_THROW(make_shaped_market(kc, auction::AuctionConfig{}, -0.1, rng), precondition_error);
+  EXPECT_THROW(make_shaped_market(kc, auction::AuctionConfig{}, 1.1, rng), precondition_error);
+}
+
+}  // namespace
+}  // namespace decloud::trace

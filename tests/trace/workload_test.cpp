@@ -1,0 +1,124 @@
+#include "trace/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace decloud::trace {
+namespace {
+
+TEST(Workload, BuildsRequestedCounts) {
+  WorkloadConfig wc;
+  wc.num_requests = 37;
+  wc.num_offers = 13;
+  Rng rng(1);
+  const auto s = make_workload(wc, auction::AuctionConfig{}, rng);
+  EXPECT_EQ(s.requests.size(), 37u);
+  EXPECT_EQ(s.offers.size(), 13u);
+}
+
+TEST(Workload, MultiRequestClientsExist) {
+  // requests_per_client = 2 → roughly half as many clients as requests;
+  // exercises the "exclude all bids of the same participant" rule.
+  WorkloadConfig wc;
+  wc.num_requests = 40;
+  wc.requests_per_client = 2.0;
+  Rng rng(2);
+  const auto s = make_workload(wc, auction::AuctionConfig{}, rng);
+  std::set<ClientId> clients;
+  for (const auto& r : s.requests) clients.insert(r.client);
+  EXPECT_LE(clients.size(), 21u);
+  EXPECT_GE(clients.size(), 19u);
+}
+
+TEST(Workload, AllBidsArePositiveAfterValuation) {
+  WorkloadConfig wc;
+  wc.num_requests = 100;
+  wc.num_offers = 40;
+  Rng rng(3);
+  const auto s = make_workload(wc, auction::AuctionConfig{}, rng);
+  for (const auto& r : s.requests) EXPECT_GT(r.bid, 0.0);
+  for (const auto& o : s.offers) EXPECT_GT(o.bid, 0.0);
+}
+
+TEST(Workload, SnapshotPassesValidation) {
+  WorkloadConfig wc;
+  Rng rng(4);
+  const auto s = make_workload(wc, auction::AuctionConfig{}, rng);
+  for (const auto& r : s.requests) EXPECT_NO_THROW(auction::validate(r));
+  for (const auto& o : s.offers) EXPECT_NO_THROW(auction::validate(o));
+}
+
+TEST(Workload, DeterministicGivenSeed) {
+  WorkloadConfig wc;
+  Rng a(5);
+  Rng b(5);
+  const auto s1 = make_workload(wc, auction::AuctionConfig{}, a);
+  const auto s2 = make_workload(wc, auction::AuctionConfig{}, b);
+  ASSERT_EQ(s1.requests.size(), s2.requests.size());
+  for (std::size_t i = 0; i < s1.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1.requests[i].bid, s2.requests[i].bid);
+  }
+}
+
+TEST(AssignValuations, RespectsCoefficientRange) {
+  // With coeff range [1, 1] the valuation equals the base cost exactly, so
+  // re-running with [0.5, 0.5] must halve every bid.
+  WorkloadConfig wc;
+  wc.num_requests = 30;
+  wc.num_offers = 10;
+  wc.valuation.coeff_lo = wc.valuation.coeff_hi = 1.0;
+  Rng rng(6);
+  const auto s1 = make_workload(wc, auction::AuctionConfig{}, rng);
+
+  wc.valuation.coeff_lo = wc.valuation.coeff_hi = 0.5;
+  Rng rng2(6);
+  const auto s2 = make_workload(wc, auction::AuctionConfig{}, rng2);
+  for (std::size_t i = 0; i < s1.requests.size(); ++i) {
+    EXPECT_NEAR(s2.requests[i].bid, 0.5 * s1.requests[i].bid, 1e-9);
+  }
+}
+
+TEST(AssignValuations, PreexistingBidsUntouched) {
+  WorkloadConfig wc;
+  Rng rng(7);
+  auto s = make_workload(wc, auction::AuctionConfig{}, rng);
+  const double fixed = 123.0;
+  s.requests[0].bid = fixed;
+  Rng rng2(8);
+  assign_valuations(s, auction::AuctionConfig{}, wc.valuation, rng2);
+  EXPECT_DOUBLE_EQ(s.requests[0].bid, fixed);
+}
+
+TEST(AssignValuations, EachBaseModeProducesPositiveBids) {
+  for (const auto base : {ValuationBase::kFullOfferCost, ValuationBase::kDurationProrated,
+                          ValuationBase::kFractionProrated}) {
+    WorkloadConfig wc;
+    wc.num_requests = 30;
+    wc.num_offers = 15;
+    wc.valuation.base = base;
+    Rng rng(9);
+    const auto s = make_workload(wc, auction::AuctionConfig{}, rng);
+    for (const auto& r : s.requests) EXPECT_GT(r.bid, 0.0);
+  }
+}
+
+TEST(AssignValuations, FullCostDominatesProratedForSameSeed) {
+  // Same RNG stream: the full-offer-cost base can only scale bids up
+  // relative to duration-prorated (d_r ≤ window).
+  WorkloadConfig wc;
+  wc.num_requests = 20;
+  wc.num_offers = 10;
+  wc.valuation.base = ValuationBase::kDurationProrated;
+  Rng a(10);
+  const auto prorated = make_workload(wc, auction::AuctionConfig{}, a);
+  wc.valuation.base = ValuationBase::kFullOfferCost;
+  Rng b(10);
+  const auto full = make_workload(wc, auction::AuctionConfig{}, b);
+  for (std::size_t i = 0; i < full.requests.size(); ++i) {
+    EXPECT_GE(full.requests[i].bid, prorated.requests[i].bid - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace decloud::trace
