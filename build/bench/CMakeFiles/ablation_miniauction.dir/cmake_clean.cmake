@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_miniauction.dir/ablation_miniauction.cpp.o"
+  "CMakeFiles/ablation_miniauction.dir/ablation_miniauction.cpp.o.d"
+  "ablation_miniauction"
+  "ablation_miniauction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_miniauction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

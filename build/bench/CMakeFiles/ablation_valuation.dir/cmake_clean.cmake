@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_valuation.dir/ablation_valuation.cpp.o"
+  "CMakeFiles/ablation_valuation.dir/ablation_valuation.cpp.o.d"
+  "ablation_valuation"
+  "ablation_valuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_valuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_welfare.dir/fig5a_welfare.cpp.o"
+  "CMakeFiles/fig5a_welfare.dir/fig5a_welfare.cpp.o.d"
+  "fig5a_welfare"
+  "fig5a_welfare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_welfare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

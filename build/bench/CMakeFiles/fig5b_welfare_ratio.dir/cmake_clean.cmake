@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_welfare_ratio.dir/fig5b_welfare_ratio.cpp.o"
+  "CMakeFiles/fig5b_welfare_ratio.dir/fig5b_welfare_ratio.cpp.o.d"
+  "fig5b_welfare_ratio"
+  "fig5b_welfare_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_welfare_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

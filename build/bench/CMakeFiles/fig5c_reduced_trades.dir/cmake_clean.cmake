@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_reduced_trades.dir/fig5c_reduced_trades.cpp.o"
+  "CMakeFiles/fig5c_reduced_trades.dir/fig5c_reduced_trades.cpp.o.d"
+  "fig5c_reduced_trades"
+  "fig5c_reduced_trades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_reduced_trades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

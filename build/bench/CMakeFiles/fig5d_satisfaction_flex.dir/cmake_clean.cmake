@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5d_satisfaction_flex.dir/fig5d_satisfaction_flex.cpp.o"
+  "CMakeFiles/fig5d_satisfaction_flex.dir/fig5d_satisfaction_flex.cpp.o.d"
+  "fig5d_satisfaction_flex"
+  "fig5d_satisfaction_flex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5d_satisfaction_flex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

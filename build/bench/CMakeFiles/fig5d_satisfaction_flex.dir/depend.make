@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5d_satisfaction_flex.
+# This may be replaced when dependencies are built.

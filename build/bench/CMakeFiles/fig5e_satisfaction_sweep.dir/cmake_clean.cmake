@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5e_satisfaction_sweep.dir/fig5e_satisfaction_sweep.cpp.o"
+  "CMakeFiles/fig5e_satisfaction_sweep.dir/fig5e_satisfaction_sweep.cpp.o.d"
+  "fig5e_satisfaction_sweep"
+  "fig5e_satisfaction_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5e_satisfaction_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

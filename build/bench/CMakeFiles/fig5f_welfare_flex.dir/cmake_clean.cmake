@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5f_welfare_flex.dir/fig5f_welfare_flex.cpp.o"
+  "CMakeFiles/fig5f_welfare_flex.dir/fig5f_welfare_flex.cpp.o.d"
+  "fig5f_welfare_flex"
+  "fig5f_welfare_flex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5f_welfare_flex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

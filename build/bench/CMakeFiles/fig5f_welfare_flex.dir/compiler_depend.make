@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5f_welfare_flex.
+# This may be replaced when dependencies are built.

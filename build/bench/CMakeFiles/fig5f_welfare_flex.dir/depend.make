@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5f_welfare_flex.
+# This may be replaced when dependencies are built.

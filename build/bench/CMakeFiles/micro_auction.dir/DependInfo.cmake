@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_auction.cpp" "bench/CMakeFiles/micro_auction.dir/micro_auction.cpp.o" "gcc" "bench/CMakeFiles/micro_auction.dir/micro_auction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/decloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/auction/CMakeFiles/decloud_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decloud_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/decloud_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_auction.dir/micro_auction.cpp.o"
+  "CMakeFiles/micro_auction.dir/micro_auction.cpp.o.d"
+  "micro_auction"
+  "micro_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ledger.dir/micro_ledger.cpp.o"
+  "CMakeFiles/micro_ledger.dir/micro_ledger.cpp.o.d"
+  "micro_ledger"
+  "micro_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truthfulness_check.dir/truthfulness_check.cpp.o"
+  "CMakeFiles/truthfulness_check.dir/truthfulness_check.cpp.o.d"
+  "truthfulness_check"
+  "truthfulness_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truthfulness_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

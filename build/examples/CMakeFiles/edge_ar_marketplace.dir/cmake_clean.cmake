@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_ar_marketplace.dir/edge_ar_marketplace.cpp.o"
+  "CMakeFiles/edge_ar_marketplace.dir/edge_ar_marketplace.cpp.o.d"
+  "edge_ar_marketplace"
+  "edge_ar_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_ar_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_cloud.dir/federated_cloud.cpp.o"
+  "CMakeFiles/federated_cloud.dir/federated_cloud.cpp.o.d"
+  "federated_cloud"
+  "federated_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledger_round.dir/ledger_round.cpp.o"
+  "CMakeFiles/ledger_round.dir/ledger_round.cpp.o.d"
+  "ledger_round"
+  "ledger_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledger_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

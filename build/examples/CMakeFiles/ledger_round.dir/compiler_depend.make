@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ledger_round.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_lifecycle.dir/market_lifecycle.cpp.o"
+  "CMakeFiles/market_lifecycle.dir/market_lifecycle.cpp.o.d"
+  "market_lifecycle"
+  "market_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

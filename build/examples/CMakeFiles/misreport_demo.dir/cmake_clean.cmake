@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misreport_demo.dir/misreport_demo.cpp.o"
+  "CMakeFiles/misreport_demo.dir/misreport_demo.cpp.o.d"
+  "misreport_demo"
+  "misreport_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misreport_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auction/allocation.cpp" "src/auction/CMakeFiles/decloud_auction.dir/allocation.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/allocation.cpp.o.d"
+  "/root/repo/src/auction/bid.cpp" "src/auction/CMakeFiles/decloud_auction.dir/bid.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/bid.cpp.o.d"
+  "/root/repo/src/auction/cluster.cpp" "src/auction/CMakeFiles/decloud_auction.dir/cluster.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/cluster.cpp.o.d"
+  "/root/repo/src/auction/economics.cpp" "src/auction/CMakeFiles/decloud_auction.dir/economics.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/economics.cpp.o.d"
+  "/root/repo/src/auction/feasibility.cpp" "src/auction/CMakeFiles/decloud_auction.dir/feasibility.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/feasibility.cpp.o.d"
+  "/root/repo/src/auction/mcafee.cpp" "src/auction/CMakeFiles/decloud_auction.dir/mcafee.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/mcafee.cpp.o.d"
+  "/root/repo/src/auction/mechanism.cpp" "src/auction/CMakeFiles/decloud_auction.dir/mechanism.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/mechanism.cpp.o.d"
+  "/root/repo/src/auction/miniauction.cpp" "src/auction/CMakeFiles/decloud_auction.dir/miniauction.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/miniauction.cpp.o.d"
+  "/root/repo/src/auction/pricing.cpp" "src/auction/CMakeFiles/decloud_auction.dir/pricing.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/pricing.cpp.o.d"
+  "/root/repo/src/auction/qom.cpp" "src/auction/CMakeFiles/decloud_auction.dir/qom.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/qom.cpp.o.d"
+  "/root/repo/src/auction/resource.cpp" "src/auction/CMakeFiles/decloud_auction.dir/resource.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/resource.cpp.o.d"
+  "/root/repo/src/auction/trade_reduction.cpp" "src/auction/CMakeFiles/decloud_auction.dir/trade_reduction.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/trade_reduction.cpp.o.d"
+  "/root/repo/src/auction/verify.cpp" "src/auction/CMakeFiles/decloud_auction.dir/verify.cpp.o" "gcc" "src/auction/CMakeFiles/decloud_auction.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/decloud_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

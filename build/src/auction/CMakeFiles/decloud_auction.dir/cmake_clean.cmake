@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decloud_auction.dir/allocation.cpp.o"
+  "CMakeFiles/decloud_auction.dir/allocation.cpp.o.d"
+  "CMakeFiles/decloud_auction.dir/bid.cpp.o"
+  "CMakeFiles/decloud_auction.dir/bid.cpp.o.d"
+  "CMakeFiles/decloud_auction.dir/cluster.cpp.o"
+  "CMakeFiles/decloud_auction.dir/cluster.cpp.o.d"
+  "CMakeFiles/decloud_auction.dir/economics.cpp.o"
+  "CMakeFiles/decloud_auction.dir/economics.cpp.o.d"
+  "CMakeFiles/decloud_auction.dir/feasibility.cpp.o"
+  "CMakeFiles/decloud_auction.dir/feasibility.cpp.o.d"
+  "CMakeFiles/decloud_auction.dir/mcafee.cpp.o"
+  "CMakeFiles/decloud_auction.dir/mcafee.cpp.o.d"
+  "CMakeFiles/decloud_auction.dir/mechanism.cpp.o"
+  "CMakeFiles/decloud_auction.dir/mechanism.cpp.o.d"
+  "CMakeFiles/decloud_auction.dir/miniauction.cpp.o"
+  "CMakeFiles/decloud_auction.dir/miniauction.cpp.o.d"
+  "CMakeFiles/decloud_auction.dir/pricing.cpp.o"
+  "CMakeFiles/decloud_auction.dir/pricing.cpp.o.d"
+  "CMakeFiles/decloud_auction.dir/qom.cpp.o"
+  "CMakeFiles/decloud_auction.dir/qom.cpp.o.d"
+  "CMakeFiles/decloud_auction.dir/resource.cpp.o"
+  "CMakeFiles/decloud_auction.dir/resource.cpp.o.d"
+  "CMakeFiles/decloud_auction.dir/trade_reduction.cpp.o"
+  "CMakeFiles/decloud_auction.dir/trade_reduction.cpp.o.d"
+  "CMakeFiles/decloud_auction.dir/verify.cpp.o"
+  "CMakeFiles/decloud_auction.dir/verify.cpp.o.d"
+  "libdecloud_auction.a"
+  "libdecloud_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decloud_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decloud_common.dir/byte_buffer.cpp.o"
+  "CMakeFiles/decloud_common.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/decloud_common.dir/hex.cpp.o"
+  "CMakeFiles/decloud_common.dir/hex.cpp.o.d"
+  "CMakeFiles/decloud_common.dir/interner.cpp.o"
+  "CMakeFiles/decloud_common.dir/interner.cpp.o.d"
+  "CMakeFiles/decloud_common.dir/rng.cpp.o"
+  "CMakeFiles/decloud_common.dir/rng.cpp.o.d"
+  "libdecloud_common.a"
+  "libdecloud_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decloud_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decloud_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/decloud_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/decloud_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/decloud_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/decloud_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/decloud_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/decloud_crypto.dir/pow.cpp.o"
+  "CMakeFiles/decloud_crypto.dir/pow.cpp.o.d"
+  "CMakeFiles/decloud_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/decloud_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/decloud_crypto.dir/signature.cpp.o"
+  "CMakeFiles/decloud_crypto.dir/signature.cpp.o.d"
+  "libdecloud_crypto.a"
+  "libdecloud_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decloud_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

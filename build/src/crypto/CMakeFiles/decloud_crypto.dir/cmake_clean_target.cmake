@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdecloud_crypto.a"
+)

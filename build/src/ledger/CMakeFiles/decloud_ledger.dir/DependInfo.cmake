@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ledger/block.cpp" "src/ledger/CMakeFiles/decloud_ledger.dir/block.cpp.o" "gcc" "src/ledger/CMakeFiles/decloud_ledger.dir/block.cpp.o.d"
+  "/root/repo/src/ledger/challenge.cpp" "src/ledger/CMakeFiles/decloud_ledger.dir/challenge.cpp.o" "gcc" "src/ledger/CMakeFiles/decloud_ledger.dir/challenge.cpp.o.d"
+  "/root/repo/src/ledger/codec.cpp" "src/ledger/CMakeFiles/decloud_ledger.dir/codec.cpp.o" "gcc" "src/ledger/CMakeFiles/decloud_ledger.dir/codec.cpp.o.d"
+  "/root/repo/src/ledger/contract.cpp" "src/ledger/CMakeFiles/decloud_ledger.dir/contract.cpp.o" "gcc" "src/ledger/CMakeFiles/decloud_ledger.dir/contract.cpp.o.d"
+  "/root/repo/src/ledger/market.cpp" "src/ledger/CMakeFiles/decloud_ledger.dir/market.cpp.o" "gcc" "src/ledger/CMakeFiles/decloud_ledger.dir/market.cpp.o.d"
+  "/root/repo/src/ledger/miner.cpp" "src/ledger/CMakeFiles/decloud_ledger.dir/miner.cpp.o" "gcc" "src/ledger/CMakeFiles/decloud_ledger.dir/miner.cpp.o.d"
+  "/root/repo/src/ledger/participant.cpp" "src/ledger/CMakeFiles/decloud_ledger.dir/participant.cpp.o" "gcc" "src/ledger/CMakeFiles/decloud_ledger.dir/participant.cpp.o.d"
+  "/root/repo/src/ledger/protocol.cpp" "src/ledger/CMakeFiles/decloud_ledger.dir/protocol.cpp.o" "gcc" "src/ledger/CMakeFiles/decloud_ledger.dir/protocol.cpp.o.d"
+  "/root/repo/src/ledger/sealed_bid.cpp" "src/ledger/CMakeFiles/decloud_ledger.dir/sealed_bid.cpp.o" "gcc" "src/ledger/CMakeFiles/decloud_ledger.dir/sealed_bid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/auction/CMakeFiles/decloud_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/decloud_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decloud_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

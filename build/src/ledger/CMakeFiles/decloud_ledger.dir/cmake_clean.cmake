@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decloud_ledger.dir/block.cpp.o"
+  "CMakeFiles/decloud_ledger.dir/block.cpp.o.d"
+  "CMakeFiles/decloud_ledger.dir/challenge.cpp.o"
+  "CMakeFiles/decloud_ledger.dir/challenge.cpp.o.d"
+  "CMakeFiles/decloud_ledger.dir/codec.cpp.o"
+  "CMakeFiles/decloud_ledger.dir/codec.cpp.o.d"
+  "CMakeFiles/decloud_ledger.dir/contract.cpp.o"
+  "CMakeFiles/decloud_ledger.dir/contract.cpp.o.d"
+  "CMakeFiles/decloud_ledger.dir/market.cpp.o"
+  "CMakeFiles/decloud_ledger.dir/market.cpp.o.d"
+  "CMakeFiles/decloud_ledger.dir/miner.cpp.o"
+  "CMakeFiles/decloud_ledger.dir/miner.cpp.o.d"
+  "CMakeFiles/decloud_ledger.dir/participant.cpp.o"
+  "CMakeFiles/decloud_ledger.dir/participant.cpp.o.d"
+  "CMakeFiles/decloud_ledger.dir/protocol.cpp.o"
+  "CMakeFiles/decloud_ledger.dir/protocol.cpp.o.d"
+  "CMakeFiles/decloud_ledger.dir/sealed_bid.cpp.o"
+  "CMakeFiles/decloud_ledger.dir/sealed_bid.cpp.o.d"
+  "libdecloud_ledger.a"
+  "libdecloud_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decloud_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

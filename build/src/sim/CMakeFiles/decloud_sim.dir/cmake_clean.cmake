@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decloud_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/decloud_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/decloud_sim.dir/network.cpp.o"
+  "CMakeFiles/decloud_sim.dir/network.cpp.o.d"
+  "CMakeFiles/decloud_sim.dir/node.cpp.o"
+  "CMakeFiles/decloud_sim.dir/node.cpp.o.d"
+  "CMakeFiles/decloud_sim.dir/simulation.cpp.o"
+  "CMakeFiles/decloud_sim.dir/simulation.cpp.o.d"
+  "libdecloud_sim.a"
+  "libdecloud_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decloud_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decloud_stats.dir/histogram.cpp.o"
+  "CMakeFiles/decloud_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/decloud_stats.dir/kl_divergence.cpp.o"
+  "CMakeFiles/decloud_stats.dir/kl_divergence.cpp.o.d"
+  "CMakeFiles/decloud_stats.dir/loess.cpp.o"
+  "CMakeFiles/decloud_stats.dir/loess.cpp.o.d"
+  "CMakeFiles/decloud_stats.dir/summary.cpp.o"
+  "CMakeFiles/decloud_stats.dir/summary.cpp.o.d"
+  "libdecloud_stats.a"
+  "libdecloud_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decloud_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/ec2_catalog.cpp" "src/trace/CMakeFiles/decloud_trace.dir/ec2_catalog.cpp.o" "gcc" "src/trace/CMakeFiles/decloud_trace.dir/ec2_catalog.cpp.o.d"
+  "/root/repo/src/trace/google_csv.cpp" "src/trace/CMakeFiles/decloud_trace.dir/google_csv.cpp.o" "gcc" "src/trace/CMakeFiles/decloud_trace.dir/google_csv.cpp.o.d"
+  "/root/repo/src/trace/google_trace.cpp" "src/trace/CMakeFiles/decloud_trace.dir/google_trace.cpp.o" "gcc" "src/trace/CMakeFiles/decloud_trace.dir/google_trace.cpp.o.d"
+  "/root/repo/src/trace/kl_shaper.cpp" "src/trace/CMakeFiles/decloud_trace.dir/kl_shaper.cpp.o" "gcc" "src/trace/CMakeFiles/decloud_trace.dir/kl_shaper.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/decloud_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/decloud_trace.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/auction/CMakeFiles/decloud_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/decloud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decloud_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

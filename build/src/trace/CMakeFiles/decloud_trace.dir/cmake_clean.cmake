@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decloud_trace.dir/ec2_catalog.cpp.o"
+  "CMakeFiles/decloud_trace.dir/ec2_catalog.cpp.o.d"
+  "CMakeFiles/decloud_trace.dir/google_csv.cpp.o"
+  "CMakeFiles/decloud_trace.dir/google_csv.cpp.o.d"
+  "CMakeFiles/decloud_trace.dir/google_trace.cpp.o"
+  "CMakeFiles/decloud_trace.dir/google_trace.cpp.o.d"
+  "CMakeFiles/decloud_trace.dir/kl_shaper.cpp.o"
+  "CMakeFiles/decloud_trace.dir/kl_shaper.cpp.o.d"
+  "CMakeFiles/decloud_trace.dir/workload.cpp.o"
+  "CMakeFiles/decloud_trace.dir/workload.cpp.o.d"
+  "libdecloud_trace.a"
+  "libdecloud_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decloud_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

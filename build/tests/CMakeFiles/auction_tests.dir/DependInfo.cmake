@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/auction/ablation_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/ablation_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/ablation_test.cpp.o.d"
+  "/root/repo/tests/auction/allocation_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/allocation_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/allocation_test.cpp.o.d"
+  "/root/repo/tests/auction/bid_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/bid_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/bid_test.cpp.o.d"
+  "/root/repo/tests/auction/cluster_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/cluster_test.cpp.o.d"
+  "/root/repo/tests/auction/economics_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/economics_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/economics_test.cpp.o.d"
+  "/root/repo/tests/auction/feasibility_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/feasibility_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/feasibility_test.cpp.o.d"
+  "/root/repo/tests/auction/mcafee_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/mcafee_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/mcafee_test.cpp.o.d"
+  "/root/repo/tests/auction/mechanism_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/mechanism_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/mechanism_test.cpp.o.d"
+  "/root/repo/tests/auction/miniauction_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/miniauction_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/miniauction_test.cpp.o.d"
+  "/root/repo/tests/auction/pricing_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/pricing_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/pricing_test.cpp.o.d"
+  "/root/repo/tests/auction/qom_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/qom_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/qom_test.cpp.o.d"
+  "/root/repo/tests/auction/resource_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/resource_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/resource_test.cpp.o.d"
+  "/root/repo/tests/auction/trade_reduction_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/trade_reduction_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/trade_reduction_test.cpp.o.d"
+  "/root/repo/tests/auction/verify_test.cpp" "tests/CMakeFiles/auction_tests.dir/auction/verify_test.cpp.o" "gcc" "tests/CMakeFiles/auction_tests.dir/auction/verify_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/decloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/decloud_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/decloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/auction/CMakeFiles/decloud_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/decloud_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/decloud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decloud_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

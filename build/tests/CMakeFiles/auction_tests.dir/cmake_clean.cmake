@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_tests.dir/auction/ablation_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/ablation_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/allocation_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/allocation_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/bid_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/bid_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/cluster_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/cluster_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/economics_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/economics_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/feasibility_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/feasibility_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/mcafee_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/mcafee_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/mechanism_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/mechanism_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/miniauction_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/miniauction_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/pricing_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/pricing_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/qom_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/qom_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/resource_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/resource_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/trade_reduction_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/trade_reduction_test.cpp.o.d"
+  "CMakeFiles/auction_tests.dir/auction/verify_test.cpp.o"
+  "CMakeFiles/auction_tests.dir/auction/verify_test.cpp.o.d"
+  "auction_tests"
+  "auction_tests.pdb"
+  "auction_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/byte_buffer_test.cpp" "tests/CMakeFiles/common_tests.dir/common/byte_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/byte_buffer_test.cpp.o.d"
+  "/root/repo/tests/common/ensure_test.cpp" "tests/CMakeFiles/common_tests.dir/common/ensure_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/ensure_test.cpp.o.d"
+  "/root/repo/tests/common/hex_test.cpp" "tests/CMakeFiles/common_tests.dir/common/hex_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/hex_test.cpp.o.d"
+  "/root/repo/tests/common/interner_test.cpp" "tests/CMakeFiles/common_tests.dir/common/interner_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/interner_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/common_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/strong_id_test.cpp" "tests/CMakeFiles/common_tests.dir/common/strong_id_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/strong_id_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/decloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/decloud_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/decloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/auction/CMakeFiles/decloud_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/decloud_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/decloud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decloud_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

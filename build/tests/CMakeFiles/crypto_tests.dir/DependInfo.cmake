@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/chacha20_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/chacha20_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/chacha20_test.cpp.o.d"
+  "/root/repo/tests/crypto/hmac_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/hmac_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto/merkle_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/merkle_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/merkle_test.cpp.o.d"
+  "/root/repo/tests/crypto/pow_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/pow_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/pow_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha256_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o.d"
+  "/root/repo/tests/crypto/signature_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/signature_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/signature_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/decloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/decloud_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/decloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/auction/CMakeFiles/decloud_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/decloud_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/decloud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decloud_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

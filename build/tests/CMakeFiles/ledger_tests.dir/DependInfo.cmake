@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ledger/block_test.cpp" "tests/CMakeFiles/ledger_tests.dir/ledger/block_test.cpp.o" "gcc" "tests/CMakeFiles/ledger_tests.dir/ledger/block_test.cpp.o.d"
+  "/root/repo/tests/ledger/challenge_test.cpp" "tests/CMakeFiles/ledger_tests.dir/ledger/challenge_test.cpp.o" "gcc" "tests/CMakeFiles/ledger_tests.dir/ledger/challenge_test.cpp.o.d"
+  "/root/repo/tests/ledger/codec_test.cpp" "tests/CMakeFiles/ledger_tests.dir/ledger/codec_test.cpp.o" "gcc" "tests/CMakeFiles/ledger_tests.dir/ledger/codec_test.cpp.o.d"
+  "/root/repo/tests/ledger/contract_test.cpp" "tests/CMakeFiles/ledger_tests.dir/ledger/contract_test.cpp.o" "gcc" "tests/CMakeFiles/ledger_tests.dir/ledger/contract_test.cpp.o.d"
+  "/root/repo/tests/ledger/market_test.cpp" "tests/CMakeFiles/ledger_tests.dir/ledger/market_test.cpp.o" "gcc" "tests/CMakeFiles/ledger_tests.dir/ledger/market_test.cpp.o.d"
+  "/root/repo/tests/ledger/miner_test.cpp" "tests/CMakeFiles/ledger_tests.dir/ledger/miner_test.cpp.o" "gcc" "tests/CMakeFiles/ledger_tests.dir/ledger/miner_test.cpp.o.d"
+  "/root/repo/tests/ledger/participant_test.cpp" "tests/CMakeFiles/ledger_tests.dir/ledger/participant_test.cpp.o" "gcc" "tests/CMakeFiles/ledger_tests.dir/ledger/participant_test.cpp.o.d"
+  "/root/repo/tests/ledger/protocol_test.cpp" "tests/CMakeFiles/ledger_tests.dir/ledger/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/ledger_tests.dir/ledger/protocol_test.cpp.o.d"
+  "/root/repo/tests/ledger/sealed_bid_test.cpp" "tests/CMakeFiles/ledger_tests.dir/ledger/sealed_bid_test.cpp.o" "gcc" "tests/CMakeFiles/ledger_tests.dir/ledger/sealed_bid_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/decloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/decloud_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/decloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/auction/CMakeFiles/decloud_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/decloud_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/decloud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decloud_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

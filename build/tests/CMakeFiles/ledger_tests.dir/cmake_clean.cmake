@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledger_tests.dir/ledger/block_test.cpp.o"
+  "CMakeFiles/ledger_tests.dir/ledger/block_test.cpp.o.d"
+  "CMakeFiles/ledger_tests.dir/ledger/challenge_test.cpp.o"
+  "CMakeFiles/ledger_tests.dir/ledger/challenge_test.cpp.o.d"
+  "CMakeFiles/ledger_tests.dir/ledger/codec_test.cpp.o"
+  "CMakeFiles/ledger_tests.dir/ledger/codec_test.cpp.o.d"
+  "CMakeFiles/ledger_tests.dir/ledger/contract_test.cpp.o"
+  "CMakeFiles/ledger_tests.dir/ledger/contract_test.cpp.o.d"
+  "CMakeFiles/ledger_tests.dir/ledger/market_test.cpp.o"
+  "CMakeFiles/ledger_tests.dir/ledger/market_test.cpp.o.d"
+  "CMakeFiles/ledger_tests.dir/ledger/miner_test.cpp.o"
+  "CMakeFiles/ledger_tests.dir/ledger/miner_test.cpp.o.d"
+  "CMakeFiles/ledger_tests.dir/ledger/participant_test.cpp.o"
+  "CMakeFiles/ledger_tests.dir/ledger/participant_test.cpp.o.d"
+  "CMakeFiles/ledger_tests.dir/ledger/protocol_test.cpp.o"
+  "CMakeFiles/ledger_tests.dir/ledger/protocol_test.cpp.o.d"
+  "CMakeFiles/ledger_tests.dir/ledger/sealed_bid_test.cpp.o"
+  "CMakeFiles/ledger_tests.dir/ledger/sealed_bid_test.cpp.o.d"
+  "ledger_tests"
+  "ledger_tests.pdb"
+  "ledger_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledger_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/property/codec_fuzz_test.cpp.o"
+  "CMakeFiles/property_tests.dir/property/codec_fuzz_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/dsic_test.cpp.o"
+  "CMakeFiles/property_tests.dir/property/dsic_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/ledger_properties_test.cpp.o"
+  "CMakeFiles/property_tests.dir/property/ledger_properties_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/mechanism_properties_test.cpp.o"
+  "CMakeFiles/property_tests.dir/property/mechanism_properties_test.cpp.o.d"
+  "property_tests"
+  "property_tests.pdb"
+  "property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

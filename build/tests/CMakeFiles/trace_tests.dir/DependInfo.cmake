@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/ec2_catalog_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/ec2_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/ec2_catalog_test.cpp.o.d"
+  "/root/repo/tests/trace/google_csv_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/google_csv_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/google_csv_test.cpp.o.d"
+  "/root/repo/tests/trace/google_trace_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/google_trace_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/google_trace_test.cpp.o.d"
+  "/root/repo/tests/trace/kl_shaper_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/kl_shaper_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/kl_shaper_test.cpp.o.d"
+  "/root/repo/tests/trace/workload_test.cpp" "tests/CMakeFiles/trace_tests.dir/trace/workload_test.cpp.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/decloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/decloud_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/decloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/auction/CMakeFiles/decloud_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/decloud_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/decloud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decloud_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
