@@ -5,6 +5,8 @@
 #include "auction/cluster.hpp"
 #include "auction/mechanism.hpp"
 #include "auction/qom.hpp"
+#include "auction/score_matrix.hpp"
+#include "common/thread_pool.hpp"
 #include "trace/workload.hpp"
 
 namespace {
@@ -35,6 +37,22 @@ BENCHMARK(BM_QualityOfMatch);
 void BM_BestOffers(benchmark::State& state) {
   const auto snapshot = make_market(static_cast<std::size_t>(state.range(0)), 2);
   const auction::BlockScale scale(snapshot.requests, snapshot.offers);
+  const auction::ScoreMatrix scores(snapshot, scale);
+  const auction::AuctionConfig cfg;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        auction::best_offers(i % snapshot.requests.size(), snapshot, scores, cfg));
+    ++i;
+  }
+}
+BENCHMARK(BM_BestOffers)->Arg(64)->Arg(256);
+
+// The pre-ScoreMatrix path: per-pair sparse entry-list walks.  Kept as the
+// baseline the dense path is measured against.
+void BM_BestOffersSparse(benchmark::State& state) {
+  const auto snapshot = make_market(static_cast<std::size_t>(state.range(0)), 2);
+  const auction::BlockScale scale(snapshot.requests, snapshot.offers);
   const auction::AuctionConfig cfg;
   std::size_t i = 0;
   for (auto _ : state) {
@@ -43,7 +61,28 @@ void BM_BestOffers(benchmark::State& state) {
     ++i;
   }
 }
-BENCHMARK(BM_BestOffers)->Arg(64)->Arg(256);
+BENCHMARK(BM_BestOffersSparse)->Arg(64)->Arg(256);
+
+// The whole matching stage as DeCloudAuction::run executes it: ScoreMatrix
+// precompute plus the best-offer fan-out for every request, at a given
+// thread count (range(1)).
+void BM_MatchingStage(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto snapshot = make_market(n, 2);
+  const auction::BlockScale scale(snapshot.requests, snapshot.offers);
+  const auction::AuctionConfig cfg;
+  ThreadPool pool(threads);
+  ThreadPool* p = threads > 1 ? &pool : nullptr;
+  std::vector<std::vector<std::size_t>> best(n);
+  for (auto _ : state) {
+    const auction::ScoreMatrix scores(snapshot, scale);
+    run_chunked(p, 0, n, [&](std::size_t r) { best[r] = auction::best_offers(r, snapshot, scores, cfg); });
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MatchingStage)->Args({256, 1})->Args({256, 2})->Args({256, 4});
 
 void BM_ClusterFormation(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -75,6 +114,21 @@ void BM_FullMechanism(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FullMechanism)->Arg(32)->Arg(128)->Arg(512);
+
+// Full mechanism at an explicit thread count (range(1)); the outcome is
+// byte-identical across rows — only the wall time moves.
+void BM_FullMechanismThreads(benchmark::State& state) {
+  const auto snapshot = make_market(static_cast<std::size_t>(state.range(0)), 4);
+  auction::AuctionConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(1));
+  const auction::DeCloudAuction mechanism(cfg);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.run(snapshot, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullMechanismThreads)->Args({512, 1})->Args({512, 2})->Args({512, 4});
 
 void BM_BenchmarkMechanism(benchmark::State& state) {
   const auto snapshot = make_market(static_cast<std::size_t>(state.range(0)), 5);

@@ -1,0 +1,162 @@
+// Machine-readable performance smoke test for the matching pipeline.
+//
+// Unlike the google-benchmark microbenches, this binary emits one JSON
+// document so successive PRs can record a benchmark *trajectory* (see
+// bench/trajectory/) and compare runs mechanically.  It times:
+//
+//   * matching_sparse  — the pre-ScoreMatrix hot path: per-pair sparse
+//     quality_of_match walks inside best_offers (serial);
+//   * matching_dense   — ScoreMatrix precompute + dense best_offers fan-out
+//     at 1..N threads;
+//   * full_mechanism   — DeCloudAuction::run end to end at 1..N threads.
+//
+// Usage: perf_smoke [--rounds N] [--threads a,b,c]
+//   --rounds   timing repetitions per entry; the MINIMUM is reported
+//              (default 5)
+//   --threads  comma-separated thread counts for the parallel entries
+//              (default "1,<hardware_concurrency>")
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "auction/mechanism.hpp"
+#include "auction/qom.hpp"
+#include "auction/score_matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "trace/workload.hpp"
+
+namespace {
+
+using namespace decloud;
+
+auction::MarketSnapshot make_market(std::size_t requests, std::uint64_t seed) {
+  trace::WorkloadConfig wc;
+  wc.num_requests = requests;
+  wc.num_offers = requests / 2;
+  Rng rng(seed);
+  return trace::make_workload(wc, auction::AuctionConfig{}, rng);
+}
+
+/// Minimum wall time of `rounds` invocations, in milliseconds.
+template <typename Fn>
+double time_min_ms(int rounds, const Fn& fn) {
+  double best = 1e300;
+  for (int i = 0; i < rounds; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Entry {
+  std::string bench;
+  std::size_t requests;
+  std::size_t offers;
+  std::size_t threads;
+  double ms;
+};
+
+void emit(const std::vector<Entry>& entries, int rounds) {
+  std::printf("{\n");
+  std::printf("  \"schema\": \"decloud-perf-smoke-v1\",\n");
+  std::printf("  \"hardware_concurrency\": %zu,\n", ThreadPool::default_workers());
+  std::printf("  \"rounds\": %d,\n", rounds);
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::printf("    {\"bench\": \"%s\", \"requests\": %zu, \"offers\": %zu, "
+                "\"threads\": %zu, \"ms_per_round\": %.4f}%s\n",
+                e.bench.c_str(), e.requests, e.offers, e.threads, e.ms,
+                i + 1 == entries.size() ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+}
+
+std::vector<std::size_t> parse_threads(const char* arg) {
+  std::vector<std::size_t> out;
+  const std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok = s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    out.push_back(static_cast<std::size_t>(std::strtoul(tok.c_str(), nullptr, 10)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rounds = 5;
+  std::vector<std::size_t> thread_counts = {1, ThreadPool::default_workers()};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts = parse_threads(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--rounds N] [--threads a,b,c]\n", argv[0]);
+      return 2;
+    }
+  }
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+
+  std::vector<Entry> entries;
+
+  // --- matching stage at the BM_BestOffers size (256 requests).
+  {
+    const auto s = make_market(256, 2);
+    const auction::AuctionConfig cfg;
+    const auction::BlockScale scale(s.requests, s.offers);
+
+    const double sparse_ms = time_min_ms(rounds, [&] {
+      for (std::size_t r = 0; r < s.requests.size(); ++r) {
+        volatile auto sink = auction::best_offers(s.requests[r], s, scale, cfg).size();
+        (void)sink;
+      }
+    });
+    entries.push_back({"matching_sparse", s.requests.size(), s.offers.size(), 1, sparse_ms});
+
+    for (const std::size_t t : thread_counts) {
+      ThreadPool pool(t);
+      ThreadPool* p = t > 1 ? &pool : nullptr;
+      const double dense_ms = time_min_ms(rounds, [&] {
+        const auction::ScoreMatrix scores(s, scale);
+        run_chunked(p, 0, s.requests.size(), [&](std::size_t r) {
+          volatile auto sink = auction::best_offers(r, s, scores, cfg).size();
+          (void)sink;
+        });
+      });
+      entries.push_back({"matching_dense", s.requests.size(), s.offers.size(), t, dense_ms});
+    }
+  }
+
+  // --- full mechanism at the BM_FullMechanism size (512 requests).
+  {
+    const auto s = make_market(512, 4);
+    for (const std::size_t t : thread_counts) {
+      auction::AuctionConfig cfg;
+      cfg.threads = t;
+      const auction::DeCloudAuction mechanism(cfg);
+      std::uint64_t seed = 0;
+      const double ms = time_min_ms(rounds, [&] {
+        volatile auto sink = mechanism.run(s, ++seed).matches.size();
+        (void)sink;
+      });
+      entries.push_back({"full_mechanism", s.requests.size(), s.offers.size(), t, ms});
+    }
+  }
+
+  emit(entries, rounds);
+  return 0;
+}

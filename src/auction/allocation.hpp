@@ -48,6 +48,11 @@ struct RoundResult {
   /// Tentative matches lost to trade reduction / price filtering.
   std::size_t reduced_trades = 0;
 
+  /// Clusters whose allocation was re-drawn by the verifiable lottery
+  /// (supply/demand imbalance, Section IV-D).  Observable so tests can
+  /// assert the lottery path actually ran.
+  std::size_t lottery_clusters = 0;
+
   /// Σ over final matches of v_r − φ c_o (Eq. 3).
   Money welfare = 0.0;
   /// Σ p_r over clients and Σ π_o over providers.  Strong budget balance

@@ -29,6 +29,15 @@ struct AuctionConfig {
   /// and no price-setter is excluded.
   bool truthful = true;
 
+  /// Worker threads for the matching pipeline (ScoreMatrix scoring and
+  /// per-request best-offer ranking fan out; everything downstream of
+  /// cluster folding stays serial and ordered).  0 = one worker per
+  /// hardware thread, 1 = fully serial path.  The RoundResult is
+  /// byte-identical for every value — the ledger's collective verification
+  /// replays allocations, so miners with different core counts must agree
+  /// (see DESIGN.md, "Threading model & determinism").
+  std::size_t threads = 0;
+
   /// Ablation switch for the paper's key welfare optimization: when true
   /// (default), price-compatible clusters share a clearing price inside
   /// mini-auctions (Algorithm 3), so one trade reduction covers many

@@ -22,10 +22,28 @@ double restricted_norm(const ResourceVector& v, const std::vector<ResourceId>& t
 }  // namespace
 
 double ClusterEconomics::nu_of_request(std::size_t request) const {
-  for (const auto& re : requests) {
-    if (re.request == request) return re.nu;
-  }
-  return std::numeric_limits<double>::quiet_NaN();
+  const auto it = request_pos_.find(request);
+  return it == request_pos_.end() ? std::numeric_limits<double>::quiet_NaN()
+                                  : requests[it->second].nu;
+}
+
+double ClusterEconomics::vhat_of(std::size_t request) const {
+  const auto it = request_pos_.find(request);
+  return it == request_pos_.end() ? 0.0 : requests[it->second].vhat;
+}
+
+double ClusterEconomics::chat_of(std::size_t offer) const {
+  const auto it = offer_pos_.find(offer);
+  return it == offer_pos_.end() ? kInfiniteCost : offers[it->second].chat;
+}
+
+void ClusterEconomics::rebuild_index() {
+  request_pos_.clear();
+  offer_pos_.clear();
+  request_pos_.reserve(requests.size());
+  offer_pos_.reserve(offers.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) request_pos_[requests[i].request] = i;
+  for (std::size_t i = 0; i < offers.size(); ++i) offer_pos_[offers[i].offer] = i;
 }
 
 ClusterEconomics compute_economics(const Cluster& cluster, const MarketSnapshot& snapshot) {
@@ -115,6 +133,7 @@ ClusterEconomics compute_economics(const Cluster& cluster, const MarketSnapshot&
               if (oa.submitted != ob.submitted) return oa.submitted < ob.submitted;
               return oa.id < ob.id;
             });
+  econ.rebuild_index();
   return econ;
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "auction/bid.hpp"
@@ -38,6 +39,10 @@ struct RequestEconomics {
   double vhat = 0.0;        ///< v̂_r — normalized unit valuation
 };
 
+/// Value used for ĉ_{z'+1} when no next offer exists ("we assume
+/// ĉ_{z'+1} = ∞", Section IV-C).
+inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
 /// The priced view of one cluster: members sorted McAfee-style
 /// (requests by v̂ descending, offers by ĉ ascending; ties broken by
 /// earlier submission then lower id, per Section IV-D).
@@ -51,11 +56,24 @@ struct ClusterEconomics {
 
   /// Looks up ν_r for a request index; quiet NaN when absent.
   [[nodiscard]] double nu_of_request(std::size_t request) const;
-};
 
-/// Value used for ĉ_{z'+1} when no next offer exists ("we assume
-/// ĉ_{z'+1} = ∞", Section IV-C).
-inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+  /// v̂_r for a request index; 0.0 when the request is not in the cluster
+  /// (an absent request can never clear any price).
+  [[nodiscard]] double vhat_of(std::size_t request) const;
+
+  /// ĉ_o for an offer index; kInfiniteCost when the offer is not in the
+  /// cluster (an absent offer can never be cleared).
+  [[nodiscard]] double chat_of(std::size_t offer) const;
+
+  /// Rebuilds the O(1) snapshot-index → sorted-position maps behind the
+  /// lookups above.  compute_economics calls this once per cluster; call
+  /// it again after mutating `requests` or `offers` by hand.
+  void rebuild_index();
+
+ private:
+  std::unordered_map<std::size_t, std::size_t> request_pos_;
+  std::unordered_map<std::size_t, std::size_t> offer_pos_;
+};
 
 /// Computes the normalized economics of a cluster.  Offers that share no
 /// common type with the cluster (ν_o = 0) are dropped — they cannot be

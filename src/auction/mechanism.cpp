@@ -3,20 +3,29 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "auction/cluster.hpp"
 #include "auction/economics.hpp"
 #include "auction/feasibility.hpp"
 #include "auction/miniauction.hpp"
 #include "auction/pricing.hpp"
+#include "auction/score_matrix.hpp"
 #include "auction/trade_reduction.hpp"
 #include "common/ensure.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace decloud::auction {
 
-std::vector<std::size_t> best_offers(const Request& r, const MarketSnapshot& snapshot,
-                                     const BlockScale& scale, const AuctionConfig& config) {
+namespace {
+
+/// Shared core of both best_offers overloads; `score(o)` yields q_(r,o).
+/// The sparse and dense score paths are bit-identical (see score_matrix.hpp),
+/// so both overloads rank and threshold identically.
+template <typename ScoreFn>
+std::vector<std::size_t> best_offers_impl(const Request& r, const MarketSnapshot& snapshot,
+                                          const AuctionConfig& config, const ScoreFn& score) {
   struct Ranked {
     std::size_t offer;
     double q;
@@ -25,7 +34,7 @@ std::vector<std::size_t> best_offers(const Request& r, const MarketSnapshot& sna
   for (std::size_t o = 0; o < snapshot.offers.size(); ++o) {
     const Offer& offer = snapshot.offers[o];
     if (!feasible(offer, r, config)) continue;
-    const double q = quality_of_match(r, offer, scale);
+    const double q = score(o);
     if (q <= 0.0) continue;  // no common resource type: never ranked
     ranked.push_back({o, q});
   }
@@ -49,22 +58,21 @@ std::vector<std::size_t> best_offers(const Request& r, const MarketSnapshot& sna
   return best;
 }
 
+}  // namespace
+
+std::vector<std::size_t> best_offers(const Request& r, const MarketSnapshot& snapshot,
+                                     const BlockScale& scale, const AuctionConfig& config) {
+  return best_offers_impl(r, snapshot, config,
+                          [&](std::size_t o) { return quality_of_match(r, snapshot.offers[o], scale); });
+}
+
+std::vector<std::size_t> best_offers(std::size_t request, const MarketSnapshot& snapshot,
+                                     const ScoreMatrix& scores, const AuctionConfig& config) {
+  return best_offers_impl(snapshot.requests[request], snapshot, config,
+                          [&](std::size_t o) { return scores.score(request, o); });
+}
+
 namespace {
-
-/// Per-cluster lookup of normalized quantities.
-double vhat_of(const ClusterEconomics& econ, std::size_t request) {
-  for (const auto& re : econ.requests) {
-    if (re.request == request) return re.vhat;
-  }
-  return 0.0;
-}
-
-double chat_of(const ClusterEconomics& econ, std::size_t offer) {
-  for (const auto& oe : econ.offers) {
-    if (oe.offer == offer) return oe.chat;
-  }
-  return kInfiniteCost;
-}
 
 /// Finalizes one match into the round result.
 void finalize_match(RoundResult& result, const MarketSnapshot& snapshot, std::size_t request,
@@ -98,7 +106,14 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
   if (snapshot.requests.empty() || snapshot.offers.empty()) return result;
 
   // --- Step 1–2: rank best offers per request and form clusters (Alg. 2).
+  // Scoring runs over the dense ScoreMatrix and fans out across requests —
+  // each request's ranking is independent, and every worker writes only its
+  // own slot of `best_sets`, so the fan-out is race-free and its output
+  // does not depend on the worker count.  Cluster folding stays serial and
+  // ordered: Algorithm 2 is fold-order-sensitive, and the ledger's
+  // collective verification replays this allocation byte-for-byte.
   const BlockScale scale(snapshot.requests, snapshot.offers);
+  const ScoreMatrix scores(snapshot, scale);
   std::vector<std::size_t> request_order(snapshot.requests.size());
   std::iota(request_order.begin(), request_order.end(), std::size_t{0});
   std::sort(request_order.begin(), request_order.end(), [&](std::size_t a, std::size_t b) {
@@ -108,10 +123,19 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
     return ra.id < rb.id;
   });
 
+  const std::size_t workers =
+      config_.threads == 0 ? ThreadPool::default_workers() : config_.threads;
+  std::optional<ThreadPool> pool;
+  if (workers > 1 && snapshot.requests.size() >= kMinParallelRequests) pool.emplace(workers);
+
+  std::vector<std::vector<std::size_t>> best_sets(snapshot.requests.size());
+  run_chunked(pool ? &*pool : nullptr, 0, snapshot.requests.size(), [&](std::size_t ri) {
+    best_sets[ri] = best_offers(ri, snapshot, scores, config_);
+  });
+
   ClusterSet cluster_set;
   for (const std::size_t ri : request_order) {
-    const auto best = best_offers(snapshot.requests[ri], snapshot, scale, config_);
-    if (!best.empty()) cluster_set.update(ri, best);
+    if (!best_sets[ri].empty()) cluster_set.update(ri, best_sets[ri]);
   }
 
   // --- Step 3: normalization + greedy tentative allocation per cluster.
@@ -189,7 +213,7 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
         const bool drop = request_excluded(m.request) || offer_excluded(m.offer) ||
                           request_processed[m.request] || offer_processed[m.offer] ||
                           request_matched[m.request] ||
-                          vhat_of(pc.econ, m.request) < p || chat_of(pc.econ, m.offer) > p;
+                          pc.econ.vhat_of(m.request) < p || pc.econ.chat_of(m.offer) > p;
         if (drop) {
           capacity.release(m.offer, m.consumed);
           ++result.reduced_trades;  // a trade lost to the reduction/filter
@@ -260,6 +284,7 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
       }
 
       if (imbalance) {
+        ++result.lottery_clusters;
         // Release the survivors and re-draw the whole cluster allocation:
         // requests in random order, offers in a random ranking, first-fit.
         // The randomness comes from the block evidence (verifiable), the

@@ -26,6 +26,13 @@
 
 namespace decloud::auction {
 
+class ScoreMatrix;
+
+/// Markets below this many requests always rank serially: spinning the
+/// pool up costs more than the fan-out saves, and the result is identical
+/// either way.
+inline constexpr std::size_t kMinParallelRequests = 32;
+
 /// Ranks the feasible offers for a request and returns the best-offer set
 /// best_r: sorted offer indices whose QoM is within config.best_offer_ratio
 /// of the top match, capped at config.max_best_offers.  Empty when nothing
@@ -33,6 +40,13 @@ namespace decloud::auction {
 [[nodiscard]] std::vector<std::size_t> best_offers(const Request& r,
                                                    const MarketSnapshot& snapshot,
                                                    const BlockScale& scale,
+                                                   const AuctionConfig& config);
+
+/// Same ranking over a precomputed dense ScoreMatrix — the hot path of
+/// DeCloudAuction::run.  Bit-identical to the sparse overload.
+[[nodiscard]] std::vector<std::size_t> best_offers(std::size_t request,
+                                                   const MarketSnapshot& snapshot,
+                                                   const ScoreMatrix& scores,
                                                    const AuctionConfig& config);
 
 /// The auction mechanism.  Stateless apart from configuration; safe to

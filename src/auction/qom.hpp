@@ -28,6 +28,10 @@ class BlockScale {
   /// Normalized amount ρ' = ρ / max (0 when max is 0).
   [[nodiscard]] double normalized(ResourceId type, double amount) const;
 
+  /// One past the largest resource id observed in the block — the row
+  /// width of a dense per-bidder layout (see ScoreMatrix).
+  [[nodiscard]] std::size_t dimension() const { return max_.size(); }
+
  private:
   std::vector<double> max_;  // indexed by ResourceId
 };

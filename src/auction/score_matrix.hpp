@@ -1,0 +1,48 @@
+// Dense precompute for the quality-of-match heuristic (Eq. 18).
+//
+// quality_of_match walks two sparse sorted entry lists per (request, offer)
+// pair — O(R·O) pointer-chasing that dominates the matching phase at large
+// market sizes.  ScoreMatrix flattens every bidder's sparse resources into
+// a dense, BlockScale-normalized row-major matrix over the block's resource
+// ids, so scoring a pair becomes one contiguous fused loop:
+//
+//   q = Σ_k  σmask_r[k] · ρ'_o[k] / ((ρ'_o[k] − ρ'_r[k])² + 1)
+//
+// where σmask_r[k] is the request's significance for declared types and 0
+// elsewhere.  A term is non-zero only when BOTH sides declare type k, and
+// every excluded term evaluates to exactly +0.0 (either σmask or ρ'_o is
+// zero), so the dense sum — taken in the same ascending-id order as the
+// sparse intersection walk — is bit-identical to quality_of_match.  The
+// ledger's collective verification replays allocations, so bit-identity is
+// mandatory, not an optimization nicety (Section III).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "auction/bid.hpp"
+#include "auction/qom.hpp"
+
+namespace decloud::auction {
+
+class ScoreMatrix {
+ public:
+  /// Flattens the snapshot under the given block scale.  `scale` must have
+  /// been built from the same snapshot (it defines the normalization and
+  /// the row width).
+  ScoreMatrix(const MarketSnapshot& snapshot, const BlockScale& scale);
+
+  /// q_(r,o) — bit-identical to quality_of_match(requests[r], offers[o], scale).
+  [[nodiscard]] double score(std::size_t request, std::size_t offer) const;
+
+  /// Row width: one column per resource id observed in the block.
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+ private:
+  std::size_t width_ = 0;
+  std::vector<double> req_norm_;  // R×W: ρ'_r, 0 for undeclared types
+  std::vector<double> req_sig_;   // R×W: σ_r masked by declaration
+  std::vector<double> off_norm_;  // O×W: ρ'_o, 0 for undeclared types
+};
+
+}  // namespace decloud::auction

@@ -1,0 +1,112 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace decloud {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t n = std::max<std::size_t>(workers, 1);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::default_workers() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t step = std::max<std::size_t>(chunk, 1);
+  const std::size_t chunks = (end - begin + step - 1) / step;
+  if (chunks == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Per-parallel_for completion state; chunks record exceptions by chunk
+  // index so the rethrow below does not depend on scheduling order.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = chunks;
+  std::vector<std::exception_ptr> errors(chunks);
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * step;
+    const std::size_t hi = std::min(end, lo + step);
+    submit([&, c, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+      {
+        // Notify while still holding the lock: the caller may return — and
+        // destroy done_cv — the instant remaining hits 0, so the signal
+        // must complete before this worker releases the mutex.
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        if (--remaining == 0) done_cv.notify_one();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t target_chunks = worker_count() * 4;
+  parallel_for(begin, end, std::max<std::size_t>(n / target_chunks, 1), body);
+}
+
+void run_chunked(ThreadPool* pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr || pool->worker_count() <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  pool->parallel_for(begin, end, body);
+}
+
+}  // namespace decloud

@@ -1,0 +1,74 @@
+// A small fixed-size thread pool with a statically chunked parallel_for.
+//
+// DeCloud's matching phase fans independent per-request work out across
+// cores (see DESIGN.md "Threading model & determinism").  The pool is
+// deliberately minimal: a fixed worker count chosen at construction, no
+// work stealing, and *static* chunking — every (range, chunk) pair maps to
+// the same chunk boundaries regardless of scheduling, so parallel code
+// that writes only to its own chunk produces bit-identical results for any
+// worker count.  Exceptions thrown by the body are captured and the first
+// one (lowest chunk index) is rethrown on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace decloud {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads.  `workers` = 0 is clamped to 1; a pool of 1
+  /// still runs tasks on its single worker (use run_chunked's serial
+  /// fast-path to avoid the pool entirely).
+  explicit ThreadPool(std::size_t workers);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 when undeterminable).
+  [[nodiscard]] static std::size_t default_workers();
+
+  /// Applies `body(i)` for every i in [begin, end), split into contiguous
+  /// chunks of `chunk` indices handed to the pool.  Blocks until the whole
+  /// range is done.  The chunk boundaries depend only on (begin, end,
+  /// chunk) — never on the worker count — and `body` runs exactly once per
+  /// index.  If any invocation throws, the exception from the lowest chunk
+  /// is rethrown here after all chunks finish (deterministic error).
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Convenience: parallel_for with a chunk size that yields roughly four
+  /// chunks per worker (bounded below by 1).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  void submit(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::vector<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs `body(i)` over [begin, end): serially when `pool` is null or has a
+/// single worker, otherwise via pool->parallel_for.  The serial path and
+/// the pooled path perform the same per-index work in the same chunk
+/// layout, so downstream consumers cannot observe which one ran.
+void run_chunked(ThreadPool* pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace decloud

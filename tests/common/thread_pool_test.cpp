@@ -1,0 +1,124 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace decloud {
+namespace {
+
+TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPoolTest, DefaultWorkersIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_workers(), 1u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, 2, [&](std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, 2, [&](std::size_t) { ++calls; });  // begin > end
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, 7, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ChunkLargerThanRange) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(10, 13, 100, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPoolTest, ChunkZeroIsClampedToOne) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(8);
+  pool.parallel_for(0, 8, 0, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NonZeroBeginOffsetsIndices) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(100, 110, 3, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), std::size_t{1045});  // 100 + 101 + ... + 109
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100, 5,
+                                 [](std::size_t i) {
+                                   if (i == 42) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestChunkExceptionWinsDeterministically) {
+  ThreadPool pool(4);
+  // Two throwing indices in different chunks (chunk size 10): index 15 is in
+  // chunk 1, index 95 in chunk 9.  The rethrow must always pick chunk 1's
+  // exception, regardless of which worker finished first.
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for(0, 100, 10, [](std::size_t i) {
+        if (i == 15) throw std::runtime_error("low");
+        if (i == 95) throw std::runtime_error("high");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "low");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PoolSurvivesExceptionAndRemainsUsable) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10, 1, [](std::size_t) { throw std::logic_error("once"); }),
+      std::logic_error);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 10, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPoolTest, AutoChunkOverloadCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunChunkedTest, NullPoolRunsSeriallyInOrder) {
+  std::vector<std::size_t> order;
+  run_chunked(nullptr, 3, 8, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 4, 5, 6, 7}));
+}
+
+TEST(RunChunkedTest, SingleWorkerPoolRunsSeriallyInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  run_chunked(&pool, 0, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RunChunkedTest, MultiWorkerPoolCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  run_chunked(&pool, 0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace decloud
