@@ -1,0 +1,146 @@
+// Machine-readable throughput benchmark for the sharded engine.
+//
+// Emits one JSON document (schema decloud-engine-bench-v1) timing a full
+// trace-driven engine run — submission, epoch scheduling, resubmission
+// tail — at each (shard count, thread count) pair, reporting bids/sec so
+// bench/trajectory/ can track cross-shard scaling the same way
+// perf_smoke tracks the intra-round pipeline.
+//
+// Usage: engine_throughput [--rounds N] [--shards a,b,c] [--threads a,b,c]
+//                          [--requests N]
+//   --rounds    timing repetitions per entry; the MINIMUM time (max
+//               bids/sec) is reported (default 3)
+//   --shards    comma-separated shard counts (default "1,4,16")
+//   --threads   comma-separated scheduler thread counts
+//               (default "1,<hardware_concurrency>")
+//   --requests  workload size; offers are requests/2 (default 2048)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/driver.hpp"
+#include "engine/engine.hpp"
+#include "engine/epoch_scheduler.hpp"
+
+namespace {
+
+using namespace decloud;
+
+std::vector<std::size_t> parse_counts(const char* arg) {
+  std::vector<std::size_t> out;
+  const std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok = s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    out.push_back(static_cast<std::size_t>(std::strtoul(tok.c_str(), nullptr, 10)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+engine::EngineConfig engine_config(std::size_t shards) {
+  engine::EngineConfig config;
+  config.router.num_shards = shards;
+  config.router.x0 = 0.0;
+  config.router.x1 = 100.0;
+  config.router.y0 = 0.0;
+  config.router.y1 = 100.0;
+  config.queue_capacity = SIZE_MAX / 2;  // measure throughput, not admission
+  config.queue_watermark = SIZE_MAX / 2;
+  config.market.consensus.difficulty_bits = 8;  // simulation-scale PoW
+  config.market.num_verifiers = 1;
+  config.market.consensus.auction.threads = 1;  // parallelism across shards
+  return config;
+}
+
+struct Entry {
+  std::size_t shards;
+  std::size_t threads;
+  std::size_t bids;
+  std::size_t allocated;
+  std::size_t epochs;
+  double ms;
+  double bids_per_sec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rounds = 3;
+  std::size_t num_requests = 2048;
+  std::vector<std::size_t> shard_counts = {1, 4, 16};
+  std::vector<std::size_t> thread_counts = {1, ThreadPool::default_workers()};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_counts = parse_counts(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts = parse_counts(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      num_requests = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--rounds N] [--shards a,b,c] [--threads a,b,c] [--requests N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+
+  engine::TraceDriverConfig driver;
+  driver.workload.num_requests = num_requests;
+  driver.workload.num_offers = num_requests / 2;
+  driver.located_fraction = 0.9;
+  driver.bids_per_epoch = num_requests / 4;  // streamed in 6 batches
+  driver.seed = 2;
+
+  std::vector<Entry> entries;
+  for (const std::size_t shards : shard_counts) {
+    for (const std::size_t threads : thread_counts) {
+      double best_ms = 1e300;
+      std::size_t allocated = 0;
+      std::size_t epochs = 0;
+      std::size_t bids = 0;
+      for (int round = 0; round < rounds; ++round) {
+        engine::MarketEngine market_engine(engine_config(shards));
+        engine::EpochScheduler scheduler(market_engine, threads);
+        const auto t0 = std::chrono::steady_clock::now();
+        const engine::DriveOutcome outcome = drive_trace(market_engine, scheduler, driver);
+        const auto t1 = std::chrono::steady_clock::now();
+        best_ms =
+            std::min(best_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+        allocated = outcome.report.total.requests_allocated;
+        epochs = outcome.report.epochs;
+        bids = outcome.bids_generated;
+      }
+      entries.push_back({shards, threads, bids, allocated, epochs, best_ms,
+                         static_cast<double>(bids) / (best_ms / 1000.0)});
+    }
+  }
+
+  std::printf("{\n");
+  std::printf("  \"schema\": \"decloud-engine-bench-v1\",\n");
+  std::printf("  \"hardware_concurrency\": %zu,\n", ThreadPool::default_workers());
+  std::printf("  \"rounds\": %d,\n", rounds);
+  std::printf("  \"requests\": %zu,\n", num_requests);
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::printf("    {\"bench\": \"engine_drive\", \"shards\": %zu, \"threads\": %zu, "
+                "\"bids\": %zu, \"allocated\": %zu, \"epochs\": %zu, "
+                "\"ms\": %.4f, \"bids_per_sec\": %.1f}%s\n",
+                e.shards, e.threads, e.bids, e.allocated, e.epochs, e.ms, e.bids_per_sec,
+                i + 1 == entries.size() ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

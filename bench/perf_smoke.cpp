@@ -8,13 +8,18 @@
 //     quality_of_match walks inside best_offers (serial);
 //   * matching_dense   — ScoreMatrix precompute + dense best_offers fan-out
 //     at 1..N threads;
-//   * full_mechanism   — DeCloudAuction::run end to end at 1..N threads.
+//   * full_mechanism   — DeCloudAuction::run end to end at 1..N threads;
+//   * engine_drive     — the sharded engine end to end (trace-driven
+//     stream, epoch scheduling) at each (shards, threads) pair, with
+//     bids/sec as the headline metric.
 //
-// Usage: perf_smoke [--rounds N] [--threads a,b,c]
+// Usage: perf_smoke [--rounds N] [--threads a,b,c] [--shards a,b,c]
 //   --rounds   timing repetitions per entry; the MINIMUM is reported
 //              (default 5)
 //   --threads  comma-separated thread counts for the parallel entries
 //              (default "1,<hardware_concurrency>")
+//   --shards   comma-separated shard counts for the engine entries
+//              (default "1,4"; pass 0 to skip the engine section)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -27,6 +32,9 @@
 #include "auction/qom.hpp"
 #include "auction/score_matrix.hpp"
 #include "common/thread_pool.hpp"
+#include "engine/driver.hpp"
+#include "engine/engine.hpp"
+#include "engine/epoch_scheduler.hpp"
 #include "trace/workload.hpp"
 
 namespace {
@@ -60,20 +68,26 @@ struct Entry {
   std::size_t offers;
   std::size_t threads;
   double ms;
+  /// Engine entries only (shards > 0): shard count and bids/sec.
+  std::size_t shards = 0;
+  double bids_per_sec = 0.0;
 };
 
 void emit(const std::vector<Entry>& entries, int rounds) {
   std::printf("{\n");
-  std::printf("  \"schema\": \"decloud-perf-smoke-v1\",\n");
+  std::printf("  \"schema\": \"decloud-perf-smoke-v2\",\n");
   std::printf("  \"hardware_concurrency\": %zu,\n", ThreadPool::default_workers());
   std::printf("  \"rounds\": %d,\n", rounds);
   std::printf("  \"results\": [\n");
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     std::printf("    {\"bench\": \"%s\", \"requests\": %zu, \"offers\": %zu, "
-                "\"threads\": %zu, \"ms_per_round\": %.4f}%s\n",
-                e.bench.c_str(), e.requests, e.offers, e.threads, e.ms,
-                i + 1 == entries.size() ? "" : ",");
+                "\"threads\": %zu, \"ms_per_round\": %.4f",
+                e.bench.c_str(), e.requests, e.offers, e.threads, e.ms);
+    if (e.shards > 0) {
+      std::printf(", \"shards\": %zu, \"bids_per_sec\": %.1f", e.shards, e.bids_per_sec);
+    }
+    std::printf("}%s\n", i + 1 == entries.size() ? "" : ",");
   }
   std::printf("  ]\n}\n");
 }
@@ -97,13 +111,17 @@ std::vector<std::size_t> parse_threads(const char* arg) {
 int main(int argc, char** argv) {
   int rounds = 5;
   std::vector<std::size_t> thread_counts = {1, ThreadPool::default_workers()};
+  std::vector<std::size_t> shard_counts = {1, 4};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
       rounds = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       thread_counts = parse_threads(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_counts = parse_threads(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--rounds N] [--threads a,b,c]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--rounds N] [--threads a,b,c] [--shards a,b,c]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -154,6 +172,41 @@ int main(int argc, char** argv) {
         (void)sink;
       });
       entries.push_back({"full_mechanism", s.requests.size(), s.offers.size(), t, ms});
+    }
+  }
+
+  // --- sharded engine end to end (cross-shard axis).
+  for (const std::size_t shards : shard_counts) {
+    if (shards == 0) continue;  // 0 = skip the engine section
+    for (const std::size_t t : thread_counts) {
+      engine::EngineConfig config;
+      config.router.num_shards = shards;
+      config.router.x1 = 100.0;
+      config.router.y1 = 100.0;
+      config.queue_capacity = SIZE_MAX / 2;  // throughput, not admission
+      config.queue_watermark = SIZE_MAX / 2;
+      config.market.consensus.difficulty_bits = 8;
+      config.market.num_verifiers = 1;
+      config.market.consensus.auction.threads = 1;
+
+      engine::TraceDriverConfig driver;
+      driver.workload.num_requests = 512;
+      driver.workload.num_offers = 256;
+      driver.located_fraction = 0.9;
+      driver.bids_per_epoch = 192;
+      driver.seed = 8;
+
+      std::size_t bids = 0;
+      const double ms = time_min_ms(rounds, [&] {
+        engine::MarketEngine market_engine(config);
+        engine::EpochScheduler scheduler(market_engine, t);
+        bids = drive_trace(market_engine, scheduler, driver).bids_generated;
+      });
+      Entry entry{"engine_drive", driver.workload.num_requests, driver.workload.num_offers,
+                  t, ms};
+      entry.shards = shards;
+      entry.bids_per_sec = static_cast<double>(bids) / (ms / 1000.0);
+      entries.push_back(entry);
     }
   }
 

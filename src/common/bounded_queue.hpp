@@ -1,0 +1,96 @@
+// A bounded multi-producer / single-consumer ingest queue with explicit
+// admission control.
+//
+// The sharded engine (src/engine/) feeds each regional market through one
+// of these: producers on any thread push bids, the epoch scheduler drains
+// the whole queue at the next tick.  Admission is three-valued so
+// producers see backpressure instead of unbounded growth:
+//
+//   kAccepted — depth below the soft watermark; the bid will ride the
+//               next epoch with no congestion signal;
+//   kQueued   — admitted, but depth is at/above the watermark: the queue
+//               is congested and the producer should slow down;
+//   kRejected — depth reached capacity; the bid was NOT admitted and the
+//               producer must retry later (or route elsewhere).
+//
+// The consumer side (`drain`) is not synchronized against other consumers
+// — exactly one thread may drain, per the MPSC contract.  Producers and
+// the consumer may interleave freely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace decloud {
+
+/// Producer-visible admission outcome.
+enum class Admission : std::uint8_t { kAccepted, kQueued, kRejected };
+
+/// Why a push was rejected (meaningful only with Admission::kRejected).
+enum class RejectReason : std::uint8_t {
+  kNone,      ///< not rejected
+  kCapacity,  ///< queue at capacity (backpressure)
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  struct Result {
+    Admission status = Admission::kAccepted;
+    RejectReason reason = RejectReason::kNone;
+
+    [[nodiscard]] bool admitted() const { return status != Admission::kRejected; }
+  };
+
+  /// `capacity` bounds the depth; an admitted push that leaves the depth
+  /// above `watermark` returns the kQueued congestion signal instead of
+  /// kAccepted.  A watermark >= capacity disables the signal (every admit
+  /// is kAccepted).
+  explicit BoundedQueue(std::size_t capacity, std::size_t watermark = SIZE_MAX)
+      : capacity_(capacity), watermark_(watermark) {
+    DECLOUD_EXPECTS(capacity > 0);
+  }
+
+  /// Thread-safe producer side.  FIFO order is the lock acquisition order.
+  Result push(T value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.size() >= capacity_) {
+      return {Admission::kRejected, RejectReason::kCapacity};
+    }
+    items_.push_back(std::move(value));
+    return {items_.size() > watermark_ ? Admission::kQueued : Admission::kAccepted,
+            RejectReason::kNone};
+  }
+
+  /// Single-consumer side: removes and returns everything queued, in FIFO
+  /// order.
+  [[nodiscard]] std::vector<T> drain() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<T> out(std::make_move_iterator(items_.begin()),
+                       std::make_move_iterator(items_.end()));
+    items_.clear();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t watermark() const { return watermark_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t watermark_;
+  mutable std::mutex mutex_;
+  std::deque<T> items_;
+};
+
+}  // namespace decloud

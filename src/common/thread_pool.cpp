@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
 namespace decloud {
@@ -59,35 +61,54 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t ch
     return;
   }
 
-  // Per-parallel_for completion state; chunks record exceptions by chunk
-  // index so the rethrow below does not depend on scheduling order.
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::size_t remaining = chunks;
-  std::vector<std::exception_ptr> errors(chunks);
+  // Per-parallel_for state, heap-shared with the helper tasks: a helper
+  // may be dequeued after the caller has already returned (every chunk was
+  // claimed by someone else), so it must own the state it inspects.
+  // Chunks record exceptions by chunk index so the rethrow below does not
+  // depend on scheduling order.
+  struct ForState {
+    std::atomic<std::size_t> cursor{0};  // next unclaimed chunk
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+    std::vector<std::exception_ptr> errors;
+  };
+  auto state = std::make_shared<ForState>();
+  state->remaining = chunks;
+  state->errors.resize(chunks);
 
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * step;
-    const std::size_t hi = std::min(end, lo + step);
-    submit([&, c, lo, hi] {
+  // Claims chunks off the shared cursor until none are left.  `body` is
+  // only dereferenced while at least one chunk is unfinished, i.e. while
+  // the caller is still blocked below — so capturing it by reference is
+  // safe even though helpers may outlive this frame.
+  const auto drain = [begin, end, step, chunks, &body, state] {
+    std::size_t c;
+    while ((c = state->cursor.fetch_add(1, std::memory_order_relaxed)) < chunks) {
+      const std::size_t lo = begin + c * step;
+      const std::size_t hi = std::min(end, lo + step);
       try {
         for (std::size_t i = lo; i < hi; ++i) body(i);
       } catch (...) {
-        errors[c] = std::current_exception();
+        state->errors[c] = std::current_exception();
       }
-      {
-        // Notify while still holding the lock: the caller may return — and
-        // destroy done_cv — the instant remaining hits 0, so the signal
-        // must complete before this worker releases the mutex.
-        const std::lock_guard<std::mutex> lock(done_mutex);
-        if (--remaining == 0) done_cv.notify_one();
-      }
-    });
-  }
+      // Notify while still holding the lock: the caller may return — and
+      // release its state reference — the instant remaining hits 0, so the
+      // signal must complete before this thread releases the mutex.
+      const std::lock_guard<std::mutex> lock(state->done_mutex);
+      if (--state->remaining == 0) state->done_cv.notify_all();
+    }
+  };
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining == 0; });
-  for (const auto& err : errors) {
+  // One helper per worker (capped by the chunk count, minus the caller's
+  // own share); the caller then drains too, which guarantees completion
+  // even when every worker is busy or blocked in a nested parallel_for.
+  const std::size_t helpers = std::min(chunks - 1, worker_count());
+  for (std::size_t h = 0; h < helpers; ++h) submit(drain);
+  drain();
+
+  std::unique_lock<std::mutex> lock(state->done_mutex);
+  state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+  for (const auto& err : state->errors) {
     if (err) std::rethrow_exception(err);
   }
 }

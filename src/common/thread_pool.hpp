@@ -8,6 +8,15 @@
 // that writes only to its own chunk produces bit-identical results for any
 // worker count.  Exceptions thrown by the body are captured and the first
 // one (lowest chunk index) is rethrown on the calling thread.
+//
+// Nested-use contract: parallel_for may be called from ANY thread,
+// including a pool worker executing another parallel_for's body.  The
+// calling thread always participates in executing its own chunks (claimed
+// from a shared atomic cursor), so forward progress never depends on a
+// free worker being available — a nested call on a fully busy (even
+// single-worker) pool completes by running every chunk on the caller.
+// The engine's epoch fan-out (src/engine/) relies on this: a shard round
+// running on a pool worker may itself fan out on the same pool.
 #pragma once
 
 #include <condition_variable>
@@ -45,6 +54,8 @@ class ThreadPool {
   /// chunk) — never on the worker count — and `body` runs exactly once per
   /// index.  If any invocation throws, the exception from the lowest chunk
   /// is rethrown here after all chunks finish (deterministic error).
+  /// Safe to call from a pool worker: the caller executes chunks itself
+  /// alongside the workers, so nested calls cannot deadlock.
   void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
                     const std::function<void(std::size_t)>& body);
 

@@ -1,0 +1,79 @@
+#include "engine/driver.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace decloud::engine {
+
+namespace {
+
+/// Stamps locations onto the generated bids.  One dedicated Rng draws in
+/// a fixed order (all requests, then all offers) so the stamping is
+/// independent of how the workload generator consumed its own stream.
+void stamp_locations(auction::MarketSnapshot& snapshot, const ShardRouterConfig& box,
+                     double located_fraction, Rng& rng) {
+  const auto stamp = [&](std::optional<auction::Location>& location) {
+    if (!rng.bernoulli(located_fraction)) return;
+    location = auction::Location{rng.uniform(box.x0, box.x1), rng.uniform(box.y0, box.y1)};
+  };
+  for (auto& r : snapshot.requests) stamp(r.location);
+  for (auto& o : snapshot.offers) stamp(o.location);
+}
+
+}  // namespace
+
+DriveOutcome drive_trace(MarketEngine& engine, EpochScheduler& scheduler,
+                         const TraceDriverConfig& config) {
+  DECLOUD_EXPECTS(config.located_fraction >= 0.0 && config.located_fraction <= 1.0);
+
+  Rng rng(config.seed);
+  auction::MarketSnapshot snapshot =
+      trace::make_workload(config.workload, engine.config().market.consensus.auction, rng);
+  Rng location_rng(config.seed ^ 0x6c6f636174696f6eULL);  // "location"
+  stamp_locations(snapshot, engine.router().config(), config.located_fraction, location_rng);
+
+  DriveOutcome outcome;
+  outcome.bids_generated = snapshot.requests.size() + snapshot.offers.size();
+
+  // Interleave requests and offers by index so every epoch's batch carries
+  // both sides of the market.
+  const auto submit_one = [&](std::size_t i) {
+    const std::size_t n_req = snapshot.requests.size();
+    const EngineAdmission admission = i < n_req ? engine.submit(snapshot.requests[i])
+                                                : engine.submit(snapshot.offers[i - n_req]);
+    if (admission.admitted()) {
+      ++outcome.bids_admitted;
+    } else {
+      ++outcome.bids_rejected;
+    }
+  };
+  std::vector<std::size_t> order(outcome.bids_generated);
+  {
+    // 0, n_req, 1, n_req+1, … — requests and offers alternating while both
+    // last, computed without randomness so the stream is reproducible.
+    const std::size_t n_req = snapshot.requests.size();
+    const std::size_t n_off = snapshot.offers.size();
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < std::max(n_req, n_off); ++i) {
+      if (i < n_req) order[w++] = i;
+      if (i < n_off) order[w++] = n_req + i;
+    }
+  }
+
+  const std::size_t batch = config.bids_per_epoch == 0 ? order.size() : config.bids_per_epoch;
+  Time now = config.start_time;
+  for (std::size_t done = 0; done < order.size();) {
+    const std::size_t stop = std::min(order.size(), done + batch);
+    for (; done < stop; ++done) submit_one(order[done]);
+    scheduler.tick(now);
+    now += config.epoch_interval;
+  }
+  scheduler.run(config.drain_epochs, now, config.epoch_interval);
+
+  outcome.report = scheduler.report();
+  return outcome;
+}
+
+}  // namespace decloud::engine

@@ -1,0 +1,54 @@
+// Trace-driven workload streaming for the engine.
+//
+// Bridges trace/workload (the paper's Section V setup: Google-trace
+// requests, EC2 offers, best-match valuations) to the sharded engine.
+// The generator produces location-less bids — the global single-market
+// experiments never needed ℓ — so the driver stamps locations itself:
+// each bid independently receives a uniform coordinate in the router's
+// bounding box with probability `located_fraction`, and stays
+// location-less otherwise (exercising the spillover policy).
+//
+// Bids are streamed in deterministic order (requests and offers
+// interleaved by index) in fixed-size batches, one batch per epoch — the
+// "online appearance" of Section VI: the market clears continuously while
+// bids keep arriving.  Submissions rejected by backpressure are dropped
+// (and counted); a real producer would retry.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/epoch_scheduler.hpp"
+#include "trace/workload.hpp"
+
+namespace decloud::engine {
+
+struct TraceDriverConfig {
+  trace::WorkloadConfig workload;
+  /// Probability a bid gets a location stamped (rest exercise spillover).
+  double located_fraction = 1.0;
+  /// Bids submitted before each tick; 0 = everything before the first.
+  std::size_t bids_per_epoch = 0;
+  /// RNG seed for workload generation and location stamping.
+  std::uint64_t seed = 1;
+  /// Epochs allowed after the last submission batch (resubmission tail).
+  std::size_t drain_epochs = 32;
+  Time start_time = 0;
+  Seconds epoch_interval = 600;
+};
+
+/// Outcome of one driven run.
+struct DriveOutcome {
+  EngineReport report;
+  std::size_t bids_generated = 0;  ///< requests + offers in the workload
+  std::size_t bids_admitted = 0;
+  std::size_t bids_rejected = 0;  ///< backpressure + unroutable drops
+};
+
+/// Generates the workload, streams it into `engine` batch-by-batch with
+/// one scheduler tick per batch, then drains.  Deterministic in
+/// (config, engine config, scheduler thread count — by the engine's
+/// determinism contract the latter does not affect results).
+DriveOutcome drive_trace(MarketEngine& engine, EpochScheduler& scheduler,
+                         const TraceDriverConfig& config);
+
+}  // namespace decloud::engine

@@ -1,0 +1,83 @@
+#include "engine/engine.hpp"
+
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace decloud::engine {
+
+MarketEngine::MarketEngine(EngineConfig config)
+    : config_(std::move(config)), router_(config_.router) {
+  shards_.reserve(router_.num_shards());
+  for (std::size_t s = 0; s < router_.num_shards(); ++s) {
+    shards_.push_back(std::make_unique<Shard>(config_));
+  }
+}
+
+template <typename Bid>
+EngineAdmission MarketEngine::submit_bid(const Bid& bid) {
+  auction::validate(bid);
+  const Route route = router_.route(bid);
+  if (!route.routed()) {
+    rejected_unroutable_.fetch_add(1, std::memory_order_relaxed);
+    return {Admission::kRejected, EngineAdmission::Reason::kUnroutable, 0};
+  }
+  Shard& shard = *shards_[route.shard];
+  const auto result = shard.queue.push(IngestItem{bid});
+  if (!result.admitted()) {
+    shard.rejected_backpressure.fetch_add(1, std::memory_order_relaxed);
+    return {Admission::kRejected, EngineAdmission::Reason::kBackpressure, route.shard};
+  }
+  if (route.kind == RouteKind::kSpilled) {
+    shard.spilled.fetch_add(1, std::memory_order_relaxed);
+  }
+  return {result.status, EngineAdmission::Reason::kNone, route.shard};
+}
+
+EngineAdmission MarketEngine::submit(const auction::Request& request) {
+  return submit_bid(request);
+}
+
+EngineAdmission MarketEngine::submit(const auction::Offer& offer) { return submit_bid(offer); }
+
+std::size_t MarketEngine::queued_bids() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->queue.size() + shard->market.queued_bids();
+  }
+  return total;
+}
+
+void MarketEngine::run_shard_epoch(std::size_t shard_index, Time now) {
+  DECLOUD_EXPECTS(shard_index < shards_.size());
+  Shard& shard = *shards_[shard_index];
+  for (IngestItem& item : shard.queue.drain()) {
+    std::visit([&](const auto& bid) { shard.market.submit(bid); }, item.bid);
+  }
+  if (shard.market.queued_bids() == 0) return;  // idle shard: no empty blocks
+  (void)shard.market.run_round(now);
+  ++shard.epochs_run;
+}
+
+EngineReport MarketEngine::report() const {
+  EngineReport report;
+  report.shards.reserve(shards_.size());
+  report.bids_rejected_unroutable = rejected_unroutable_.load(std::memory_order_relaxed);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    ShardReport sr;
+    sr.shard = s;
+    sr.epochs = shard.epochs_run;
+    sr.bids_rejected_backpressure = shard.rejected_backpressure.load(std::memory_order_relaxed);
+    sr.bids_spilled = shard.spilled.load(std::memory_order_relaxed);
+    sr.stats = shard.market.stats();
+
+    merge_stats(report.total, sr.stats);
+    report.bids_rejected_backpressure += sr.bids_rejected_backpressure;
+    report.bids_spilled += sr.bids_spilled;
+    report.shards.push_back(std::move(sr));
+  }
+  return report;
+}
+
+}  // namespace decloud::engine

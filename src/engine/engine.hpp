@@ -1,0 +1,129 @@
+// The sharded continuous market engine.
+//
+// One MarketEngine holds N independent regional markets (shards), each a
+// full MarketOrchestrator behind a bounded ingest queue.  Producers stream
+// bids in on any thread: `submit` routes by location (ShardRouter), pushes
+// into the shard's queue, and returns an explicit admission result so
+// callers experience admission control instead of unbounded growth.  An
+// EpochScheduler (epoch_scheduler.hpp) then ticks the engine: each tick
+// drains every shard's queue into that shard's market and runs one block
+// round per non-idle shard, fanning the independent shard rounds out
+// across a thread pool.
+//
+// Determinism contract: shards never share state, every shard market is
+// seeded identically and fed in queue (FIFO) order, and aggregation
+// (report()) walks shards in fixed order — so for a single-threaded
+// producer the whole engine is byte-deterministic for a given
+// (config, submission sequence), independent of the scheduler's thread
+// count.  A 1-shard engine is observably identical to driving one
+// MarketOrchestrator directly (enforced by tests/engine/).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "engine/report.hpp"
+#include "engine/shard_router.hpp"
+#include "ledger/market.hpp"
+
+namespace decloud::engine {
+
+struct EngineConfig {
+  /// Routing (also fixes the shard count via router.num_shards).
+  ShardRouterConfig router;
+  /// Per-shard ingest queue bound and congestion watermark (see
+  /// common/bounded_queue.hpp; watermark >= capacity disables the kQueued
+  /// signal).
+  std::size_t queue_capacity = 4096;
+  std::size_t queue_watermark = 3072;
+  /// Per-shard market parameters (consensus, retry budget, …).  Every
+  /// shard gets an identical copy; `market.consensus.auction.threads`
+  /// should usually stay 1 so parallelism lives across shards, not inside
+  /// them.
+  ledger::MarketConfig market;
+};
+
+/// Producer-visible outcome of one submit().
+struct EngineAdmission {
+  Admission status = Admission::kRejected;
+  /// Why, when status == kRejected.
+  enum class Reason : std::uint8_t {
+    kNone,          ///< admitted
+    kBackpressure,  ///< the shard's ingest queue is full
+    kUnroutable,    ///< no location and SpilloverPolicy::kReject
+  };
+  Reason reason = Reason::kNone;
+  /// Target shard (valid unless reason == kUnroutable).
+  std::size_t shard = 0;
+
+  [[nodiscard]] bool admitted() const { return status != Admission::kRejected; }
+};
+
+class MarketEngine {
+ public:
+  explicit MarketEngine(EngineConfig config);
+
+  /// Thread-safe bid ingest (MPSC per shard: any number of producers; the
+  /// scheduler is the single consumer).  Bids are validated here so a
+  /// malformed bid faults the producer, not the epoch tick.
+  EngineAdmission submit(const auction::Request& request);
+  EngineAdmission submit(const auction::Offer& offer);
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] const ShardRouter& router() const { return router_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+  /// Bids awaiting a round anywhere: ingest queues plus shard markets.
+  [[nodiscard]] std::size_t queued_bids() const;
+
+  /// Runs one epoch for one shard: drains its ingest queue into the shard
+  /// market (FIFO) and, if the market has anything pending, runs one block
+  /// round at `now`.  Called by EpochScheduler, possibly concurrently for
+  /// DIFFERENT shards; never call it concurrently for the same shard.
+  void run_shard_epoch(std::size_t shard, Time now);
+
+  /// Direct access to a shard's market (read-mostly: tests and the demo
+  /// inspect chains/contracts through this).
+  [[nodiscard]] const ledger::MarketOrchestrator& shard_market(std::size_t shard) const {
+    return shards_[shard]->market;
+  }
+
+  /// Snapshot of all statistics, merged in fixed shard order.
+  /// `epochs` on the report is filled by the EpochScheduler that drives
+  /// this engine (the engine itself counts per-shard rounds only).
+  [[nodiscard]] EngineReport report() const;
+
+ private:
+  struct IngestItem {
+    std::variant<auction::Request, auction::Offer> bid;
+  };
+
+  struct Shard {
+    explicit Shard(const EngineConfig& config)
+        : queue(config.queue_capacity, config.queue_watermark), market(config.market) {}
+
+    BoundedQueue<IngestItem> queue;
+    ledger::MarketOrchestrator market;
+    // Producer-side counters (atomic: submit runs on producer threads).
+    std::atomic<std::size_t> rejected_backpressure{0};
+    std::atomic<std::size_t> spilled{0};
+    // Consumer-side counter (only the scheduler touches it).
+    std::size_t epochs_run = 0;
+  };
+
+  template <typename Bid>
+  EngineAdmission submit_bid(const Bid& bid);
+
+  EngineConfig config_;
+  ShardRouter router_;
+  // unique_ptr: Shard is neither movable nor copyable (queue mutex,
+  // orchestrator), and the vector is sized once in the constructor.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> rejected_unroutable_{0};
+};
+
+}  // namespace decloud::engine

@@ -1,0 +1,35 @@
+#include "engine/epoch_scheduler.hpp"
+
+namespace decloud::engine {
+
+EpochScheduler::EpochScheduler(MarketEngine& engine, std::size_t threads) : engine_(engine) {
+  const std::size_t workers = threads == 0 ? ThreadPool::default_workers() : threads;
+  if (workers > 1 && engine_.num_shards() > 1) pool_.emplace(workers);
+}
+
+void EpochScheduler::tick(Time now) {
+  // One chunk per shard: the chunk layout (hence which bodies run) is
+  // fixed, and each body touches only its own shard's state.
+  run_chunked(pool_ ? &*pool_ : nullptr, 0, engine_.num_shards(),
+              [&](std::size_t shard) { engine_.run_shard_epoch(shard, now); });
+  ++epochs_;
+}
+
+std::size_t EpochScheduler::run(std::size_t max_epochs, Time start_time,
+                                Seconds epoch_interval) {
+  const std::size_t before = epochs_;
+  Time now = start_time;
+  for (std::size_t epoch = 0; epoch < max_epochs && engine_.queued_bids() > 0; ++epoch) {
+    tick(now);
+    now += epoch_interval;
+  }
+  return epochs_ - before;
+}
+
+EngineReport EpochScheduler::report() const {
+  EngineReport report = engine_.report();
+  report.epochs = epochs_;
+  return report;
+}
+
+}  // namespace decloud::engine

@@ -1,0 +1,51 @@
+// Tick-driven execution of a MarketEngine's shard rounds.
+//
+// Each tick is one "epoch": every shard drains its ingest queue and runs
+// at most one block round.  Shards are independent markets, so the
+// scheduler fans them out across a common/thread_pool with no cross-shard
+// locking; the per-shard work is serialized by construction (one tick at
+// a time, one chunk per shard).  Because shard rounds are individually
+// deterministic and aggregation is ordered, the engine's results do not
+// depend on the scheduler's thread count — only wall-clock time does.
+//
+// The pool's nested-use contract (thread_pool.hpp) matters here: a shard
+// round may itself fan out (AuctionConfig::threads), and that inner
+// parallelism must not deadlock against the outer shard fan-out.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/thread_pool.hpp"
+#include "engine/engine.hpp"
+
+namespace decloud::engine {
+
+class EpochScheduler {
+ public:
+  /// `threads` workers drive the shard fan-out; 0 = one per hardware
+  /// thread, 1 = fully serial (no pool spun up).
+  EpochScheduler(MarketEngine& engine, std::size_t threads);
+
+  /// Runs one epoch at simulated time `now` across all shards.
+  void tick(Time now);
+
+  /// Ticks until the engine is idle (no queued bids anywhere) or
+  /// `max_epochs` elapsed; returns the number of epochs run.
+  std::size_t run(std::size_t max_epochs, Time start_time = 0, Seconds epoch_interval = 600);
+
+  [[nodiscard]] std::size_t epochs() const { return epochs_; }
+  [[nodiscard]] std::size_t threads() const {
+    return pool_ ? pool_->worker_count() : 1;
+  }
+
+  /// The engine's report with the scheduler's epoch count filled in.
+  [[nodiscard]] EngineReport report() const;
+
+ private:
+  MarketEngine& engine_;
+  std::optional<ThreadPool> pool_;  // absent on the serial path
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace decloud::engine

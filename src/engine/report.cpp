@@ -1,0 +1,73 @@
+#include "engine/report.hpp"
+
+#include <cstdio>
+
+namespace decloud::engine {
+
+namespace {
+
+void append_stats(std::string& out, const ledger::MarketStats& st) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"rounds\":%zu,\"requests_submitted\":%zu,\"requests_allocated\":%zu,"
+                "\"requests_abandoned\":%zu,\"offers_submitted\":%zu,",
+                st.rounds, st.requests_submitted, st.requests_allocated,
+                st.requests_abandoned, st.offers_submitted);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "\"agreements_denied\":%zu,\"total_welfare\":%.17g,\"total_settled\":%.17g,"
+                "\"allocation_latency\":[",
+                st.agreements_denied, st.total_welfare, st.total_settled);
+  out += buf;
+  for (std::size_t i = 0; i < st.allocation_latency.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s%zu", i == 0 ? "" : ",", st.allocation_latency[i]);
+    out += buf;
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+void merge_stats(ledger::MarketStats& total, const ledger::MarketStats& shard) {
+  total.rounds += shard.rounds;
+  total.requests_submitted += shard.requests_submitted;
+  total.requests_allocated += shard.requests_allocated;
+  total.requests_abandoned += shard.requests_abandoned;
+  total.offers_submitted += shard.offers_submitted;
+  total.agreements_denied += shard.agreements_denied;
+  total.total_welfare += shard.total_welfare;
+  total.total_settled += shard.total_settled;
+  if (total.allocation_latency.size() < shard.allocation_latency.size()) {
+    total.allocation_latency.resize(shard.allocation_latency.size(), 0);
+  }
+  for (std::size_t i = 0; i < shard.allocation_latency.size(); ++i) {
+    total.allocation_latency[i] += shard.allocation_latency[i];
+  }
+}
+
+std::string EngineReport::summary_json() const {
+  std::string out;
+  out.reserve(256 + shards.size() * 256);
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "{\"epochs\":%zu,\"bids_rejected_backpressure\":%zu,"
+                "\"bids_rejected_unroutable\":%zu,\"bids_spilled\":%zu,\"total\":",
+                epochs, bids_rejected_backpressure, bids_rejected_unroutable, bids_spilled);
+  out += buf;
+  append_stats(out, total);
+  out += ",\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardReport& s = shards[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"shard\":%zu,\"epochs\":%zu,\"rejected\":%zu,\"spilled\":%zu,\"stats\":",
+                  i == 0 ? "" : ",", s.shard, s.epochs, s.bids_rejected_backpressure,
+                  s.bids_spilled);
+    out += buf;
+    append_stats(out, s.stats);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace decloud::engine

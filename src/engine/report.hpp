@@ -1,0 +1,61 @@
+// Deterministic cross-shard aggregation of engine results.
+//
+// Each shard is an independent market with its own MarketStats; the
+// engine's observable output is their merge.  Merging happens in fixed
+// shard order (0, 1, …, N−1) — including the floating-point welfare sums —
+// so a report is byte-identical for a given (workload, seed, shard count)
+// regardless of how many threads executed the epochs.  `summary_json()`
+// serializes with exact round-trippable doubles and is the string the
+// determinism tests byte-compare.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ledger/market.hpp"
+
+namespace decloud::engine {
+
+/// Per-shard slice of the engine's lifetime statistics.
+struct ShardReport {
+  std::size_t shard = 0;
+  /// Epochs in which this shard actually ran a market round.
+  std::size_t epochs = 0;
+  /// Submissions refused by this shard's ingest queue (backpressure).
+  std::size_t bids_rejected_backpressure = 0;
+  /// Location-less bids the spillover policy placed here.
+  std::size_t bids_spilled = 0;
+  /// The shard market's own lifetime stats.
+  ledger::MarketStats stats;
+
+  /// Shard welfare — explicit alias of stats.total_welfare so the
+  /// reconciliation invariant (Σ shard welfare == total.total_welfare) is
+  /// directly testable.
+  [[nodiscard]] Money welfare() const { return stats.total_welfare; }
+};
+
+/// The whole engine's aggregate view.
+struct EngineReport {
+  std::vector<ShardReport> shards;  // indexed by shard, fixed order
+
+  /// MarketStats merged across shards in shard order.
+  ledger::MarketStats total;
+  /// Engine-level counters (sums of the per-shard ones, plus submissions
+  /// the router refused outright).
+  std::size_t bids_rejected_backpressure = 0;
+  std::size_t bids_rejected_unroutable = 0;
+  std::size_t bids_spilled = 0;
+  std::size_t epochs = 0;  ///< scheduler ticks executed
+
+  /// Canonical serialization: every field of every shard plus the totals,
+  /// doubles printed with "%.17g" so equal values produce equal bytes.
+  [[nodiscard]] std::string summary_json() const;
+};
+
+/// Accumulates `shard` into `total` (counts summed, latency histograms
+/// added element-wise).  Exposed for tests that reconcile per-shard stats
+/// against the aggregate.
+void merge_stats(ledger::MarketStats& total, const ledger::MarketStats& shard);
+
+}  // namespace decloud::engine

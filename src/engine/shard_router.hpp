@@ -1,0 +1,103 @@
+// Location-aware shard routing for the continuous market engine.
+//
+// A planet-scale DeCloud deployment cannot clear one global auction:
+// proximity dominates QoM for edge workloads (Section II), so bids
+// naturally partition by the ℓ_r / ℓ_o coordinates the bidding language
+// already carries (Eqs. 1–2).  The router maps every bid to exactly one
+// shard — an independent regional market — using, in precedence order:
+//
+//   1. an explicit region table (rectangles claimed by named shards),
+//      for deployments with known metro/POP boundaries;
+//   2. a uniform grid over a configured bounding box, for everything the
+//      table does not claim (coordinates outside the box are clamped onto
+//      its edge, so the grid is total);
+//   3. a spillover policy for location-less bids: hash the bid id onto a
+//      shard (load-spreading, the default), pin to shard 0, or reject.
+//
+// Routing is a pure function of (config, location, id) — stable across
+// calls, threads, and processes — which the engine's determinism contract
+// builds on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "auction/bid.hpp"
+
+namespace decloud::engine {
+
+/// What to do with a bid that carries no location.
+enum class SpilloverPolicy : std::uint8_t {
+  kHashId,     ///< splitmix64(id) % num_shards — spreads load, stable per id
+  kShardZero,  ///< pin every location-less bid to shard 0
+  kReject,     ///< refuse admission (engine reports Admission::kRejected)
+};
+
+/// One explicit region claim: the half-open rectangle [x0,x1)×[y0,y1)
+/// routes to `shard`.  Earlier entries win overlaps.
+struct Region {
+  double x0 = 0.0, x1 = 0.0;
+  double y0 = 0.0, y1 = 0.0;
+  std::size_t shard = 0;
+};
+
+struct ShardRouterConfig {
+  /// Number of independent regional markets.
+  std::size_t num_shards = 1;
+  /// Bounding box of the grid: [x0,x1)×[y0,y1).
+  double x0 = 0.0, x1 = 1.0;
+  double y0 = 0.0, y1 = 1.0;
+  /// Grid dimensions; 0 = derive a near-square grid with one cell per
+  /// shard (grid_x = ceil(sqrt(num_shards))).
+  std::size_t grid_x = 0;
+  std::size_t grid_y = 0;
+  /// Explicit region table consulted before the grid.
+  std::vector<Region> regions;
+  SpilloverPolicy spillover = SpilloverPolicy::kHashId;
+};
+
+/// How a routing decision was reached — the engine surfaces this in its
+/// shard counters (`bids_spilled`).
+enum class RouteKind : std::uint8_t {
+  kRegion,    ///< matched an explicit region-table entry
+  kGrid,      ///< located via the grid
+  kSpilled,   ///< location-less, placed by the spillover policy
+  kRejected,  ///< location-less under SpilloverPolicy::kReject
+};
+
+struct Route {
+  RouteKind kind = RouteKind::kRejected;
+  /// Valid unless kind == kRejected.
+  std::size_t shard = 0;
+
+  [[nodiscard]] bool routed() const { return kind != RouteKind::kRejected; }
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRouterConfig config);
+
+  [[nodiscard]] std::size_t num_shards() const { return config_.num_shards; }
+  [[nodiscard]] const ShardRouterConfig& config() const { return config_; }
+
+  /// Routes by (optional) location and bid id — the common core.
+  [[nodiscard]] Route route(const std::optional<auction::Location>& location,
+                            std::uint64_t id) const;
+
+  [[nodiscard]] Route route(const auction::Request& r) const {
+    return route(r.location, r.id.value());
+  }
+  [[nodiscard]] Route route(const auction::Offer& o) const {
+    return route(o.location, o.id.value());
+  }
+
+ private:
+  [[nodiscard]] std::size_t grid_shard(const auction::Location& loc) const;
+
+  ShardRouterConfig config_;
+  std::size_t grid_x_;  // resolved (non-zero) grid dimensions
+  std::size_t grid_y_;
+};
+
+}  // namespace decloud::engine

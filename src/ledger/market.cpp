@@ -54,6 +54,30 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
   stats_.total_welfare += outcome.result.welfare;
   stats_.total_settled += outcome.result.total_payments;
 
+  // Remember the accepted matches so deny_agreement can revert them; only
+  // the latest round's agreements are deniable through the orchestrator.
+  last_round_matches_.clear();
+  {
+    std::unordered_map<std::uint64_t, std::size_t> offer_attempt;
+    for (const auto& po : in_flight_offers) offer_attempt[po.offer.id.value()] = po.attempts;
+    for (std::size_t m = 0; m < outcome.result.matches.size(); ++m) {
+      if (m >= outcome.agreements.size()) break;  // defensive: align by index
+      const auto& match = outcome.result.matches[m];
+      const auction::Request& req = outcome.snapshot.requests[match.request];
+      const auction::Offer& off = outcome.snapshot.offers[match.offer];
+      MatchRecord record;
+      record.client = req.client;
+      record.request_id = req.id.value();
+      const auto req_attempt_it = request_attempt.find(req.id.value());
+      record.request_attempt =
+          req_attempt_it == request_attempt.end() ? 0 : req_attempt_it->second;
+      record.offer = off;
+      const auto attempt_it = offer_attempt.find(off.id.value());
+      record.offer_attempts = attempt_it == offer_attempt.end() ? 0 : attempt_it->second;
+      last_round_matches_.emplace(outcome.agreements[m], record);
+    }
+  }
+
   // Which request ids got matched?
   std::vector<char> matched(outcome.snapshot.requests.size(), 0);
   for (const auto& m : outcome.result.matches) matched[m.request] = 1;
@@ -84,6 +108,38 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
     if (++po.attempts <= config_.max_resubmissions) pending_offers_.push_back(po);
   }
   return outcome;
+}
+
+bool MarketOrchestrator::deny_agreement(ContractId id) {
+  const auto it = last_round_matches_.find(id);
+  if (it == last_round_matches_.end()) return false;  // not from the latest round
+  const MatchRecord& record = it->second;
+  if (!protocol_.contract().deny(id, record.client)) return false;
+
+  // Revert the request's allocation accounting: the match never executed.
+  DECLOUD_EXPECTS(stats_.requests_allocated > 0);
+  DECLOUD_EXPECTS(record.request_attempt < stats_.allocation_latency.size() &&
+                  stats_.allocation_latency[record.request_attempt] > 0);
+  --stats_.requests_allocated;
+  --stats_.allocation_latency[record.request_attempt];
+  ++stats_.agreements_denied;
+
+  // Refund the offer's retry attempt: run_round charged it one on
+  // resubmission, but the denial was the client's doing.  If the offer
+  // already aged out of the queue, re-enter it at its pre-match budget.
+  const auto offer_id = record.offer.id.value();
+  bool still_pending = false;
+  for (auto& po : pending_offers_) {
+    if (po.offer.id.value() == offer_id) {
+      if (po.attempts > record.offer_attempts) po.attempts = record.offer_attempts;
+      still_pending = true;
+      break;
+    }
+  }
+  if (!still_pending) pending_offers_.push_back({record.offer, record.offer_attempts});
+
+  last_round_matches_.erase(it);
+  return true;
 }
 
 void MarketOrchestrator::drain(std::size_t max_rounds, Time start_time, Seconds round_interval) {

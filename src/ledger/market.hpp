@@ -24,6 +24,8 @@ namespace decloud::ledger {
 /// Orchestration parameters.
 struct MarketConfig {
   /// Rounds a bid stays in the resubmission loop before being abandoned.
+  /// 0 means a bid gets exactly ONE round: it is submitted once and, if
+  /// unmatched, abandoned immediately (no resubmission).
   std::size_t max_resubmissions = 3;
   /// Verifier miners participating each round.
   std::size_t num_verifiers = 2;
@@ -38,11 +40,20 @@ struct MarketStats {
   std::size_t requests_allocated = 0;
   std::size_t requests_abandoned = 0;
   std::size_t offers_submitted = 0;
+  /// Proposed agreements the client side denied (deny_agreement).  A
+  /// denial un-counts the request's allocation — the match never executed
+  /// — so requests_allocated and the latency histogram only ever describe
+  /// allocations that stood.
+  std::size_t agreements_denied = 0;
   Money total_welfare = 0.0;
   Money total_settled = 0.0;
   /// allocation_latency[k] = requests allocated in their (k+1)-th round.
+  /// Invariant: Σ allocation_latency == requests_allocated (denials remove
+  /// their entry again).
   std::vector<std::size_t> allocation_latency;
 
+  /// requests_allocated / requests_submitted; defined as 0 (not NaN) for
+  /// an empty market so dashboards can always render the rate.
   [[nodiscard]] double allocation_rate() const {
     return requests_submitted == 0
                ? 0.0
@@ -70,6 +81,18 @@ class MarketOrchestrator {
   /// Runs rounds until nothing is queued or `max_rounds` elapsed.
   void drain(std::size_t max_rounds, Time start_time = 0, Seconds round_interval = 600);
 
+  /// Client-side denial of a Proposed agreement from the most recent
+  /// accepted round (Section III-B: "deny ... notifies the provider to
+  /// resubmit").  Applies the contract's reputational penalty, un-counts
+  /// the request's allocation (requests_allocated and its latency-histogram
+  /// entry revert; agreements_denied increments), and refunds the
+  /// provider's offer its retry attempt — a denial is not the offer's
+  /// fault, so its resubmission budget is untouched.  The denied request
+  /// itself does NOT re-enter the queue (the client walked away).
+  /// Call between rounds; returns false when the contract refuses (wrong
+  /// state / unknown id) or the agreement is not from the latest round.
+  bool deny_agreement(ContractId id);
+
   [[nodiscard]] const MarketStats& stats() const { return stats_; }
   [[nodiscard]] const LedgerProtocol& protocol() const { return protocol_; }
   [[nodiscard]] std::size_t queued_bids() const {
@@ -85,6 +108,16 @@ class MarketOrchestrator {
     auction::Offer offer;
     std::size_t attempts = 0;
   };
+  /// Bookkeeping for one match of the latest accepted round, keyed by its
+  /// agreement — what deny_agreement needs to revert the stats and refund
+  /// the offer.
+  struct MatchRecord {
+    ClientId client;
+    std::uint64_t request_id = 0;
+    std::size_t request_attempt = 0;
+    auction::Offer offer;          ///< copy, in case it aged out of the queue
+    std::size_t offer_attempts = 0;  ///< the offer's attempts when it matched
+  };
 
   MarketConfig config_;
   LedgerProtocol protocol_;
@@ -92,6 +125,7 @@ class MarketOrchestrator {
   Participant wallet_;  // one custodial wallet signs for the whole market
   std::deque<PendingRequest> pending_requests_;
   std::deque<PendingOffer> pending_offers_;
+  std::unordered_map<ContractId, MatchRecord> last_round_matches_;
   MarketStats stats_;
 };
 

@@ -1,0 +1,95 @@
+#include "common/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace decloud {
+namespace {
+
+TEST(BoundedQueueTest, AcceptsBelowWatermarkQueuesAboveRejectsAtCapacity) {
+  BoundedQueue<int> q(/*capacity=*/4, /*watermark=*/2);
+  EXPECT_EQ(q.push(1).status, Admission::kAccepted);  // depth 1
+  EXPECT_EQ(q.push(2).status, Admission::kAccepted);  // depth 2 (== watermark)
+  EXPECT_EQ(q.push(3).status, Admission::kQueued);    // depth 3 > watermark
+  EXPECT_EQ(q.push(4).status, Admission::kQueued);    // depth 4 (== capacity)
+  const auto rejected = q.push(5);
+  EXPECT_EQ(rejected.status, Admission::kRejected);
+  EXPECT_EQ(rejected.reason, RejectReason::kCapacity);
+  EXPECT_FALSE(rejected.admitted());
+  EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(BoundedQueueTest, DrainReturnsFifoAndResetsDepth) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) (void)q.push(i);
+  const auto items = q.drain();
+  EXPECT_EQ(items, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(q.empty());
+  // Depth reset: admission works again after a drain.
+  EXPECT_EQ(q.push(99).status, Admission::kAccepted);
+}
+
+TEST(BoundedQueueTest, DrainReopensAdmissionAfterRejection) {
+  BoundedQueue<int> q(2);
+  (void)q.push(1);
+  (void)q.push(2);
+  EXPECT_EQ(q.push(3).status, Admission::kRejected);
+  (void)q.drain();
+  EXPECT_EQ(q.push(3).status, Admission::kAccepted);
+}
+
+TEST(BoundedQueueTest, DefaultWatermarkDisablesCongestionSignal) {
+  BoundedQueue<int> q(3);  // watermark defaults past capacity
+  EXPECT_EQ(q.push(1).status, Admission::kAccepted);
+  EXPECT_EQ(q.push(2).status, Admission::kAccepted);
+  EXPECT_EQ(q.push(3).status, Admission::kAccepted);
+  EXPECT_EQ(q.push(4).status, Admission::kRejected);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityIsAPreconditionViolation) {
+  EXPECT_THROW(BoundedQueue<int>(0), precondition_error);
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersNeverExceedCapacityOrLoseItems) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> q(kCapacity);
+
+  std::atomic<int> admitted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.push(p * kPerProducer + i).admitted()) {
+          ++admitted;
+        } else {
+          ++rejected;
+        }
+      }
+    });
+  }
+  // Single consumer drains concurrently (the MPSC contract).
+  std::atomic<bool> stop{false};
+  std::size_t drained = 0;
+  std::thread consumer([&] {
+    while (!stop.load()) drained += q.drain().size();
+  });
+  for (auto& t : producers) t.join();
+  stop.store(true);
+  consumer.join();
+  drained += q.drain().size();
+
+  EXPECT_EQ(admitted.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(drained, static_cast<std::size_t>(admitted.load()));
+}
+
+}  // namespace
+}  // namespace decloud

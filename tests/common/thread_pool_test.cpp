@@ -100,6 +100,52 @@ TEST(ThreadPoolTest, AutoChunkOverloadCoversRange) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+// --- Nested-use contract: parallel_for from a pool worker must complete
+// --- (the caller participates in chunk execution, so no free worker is
+// --- required).  The engine's per-shard fan-out depends on this.
+
+TEST(ThreadPoolTest, NestedParallelForOnSingleWorkerPoolDoesNotDeadlock) {
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(0, 8, 1, [&](std::size_t outer) {
+    pool.parallel_for(0, 8, 1, [&](std::size_t inner) { ++hits[outer * 8 + inner]; });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForOnMultiWorkerPoolCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(25 * 25);
+  pool.parallel_for(0, 25, 3, [&](std::size_t outer) {
+    pool.parallel_for(0, 25, 3, [&](std::size_t inner) { ++hits[outer * 25 + inner]; });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedExceptionPropagatesThroughBothLevels) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 4, 1,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(0, 4, 1, [](std::size_t inner) {
+                                     if (inner == 2) throw std::runtime_error("nested");
+                                   });
+                                 }),
+               std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 6, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 6);
+}
+
+TEST(RunChunkedTest, NestedRunChunkedOnSamePoolCompletes) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(12 * 12);
+  run_chunked(&pool, 0, 12, [&](std::size_t outer) {
+    run_chunked(&pool, 0, 12, [&](std::size_t inner) { ++hits[outer * 12 + inner]; });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(RunChunkedTest, NullPoolRunsSeriallyInOrder) {
   std::vector<std::size_t> order;
   run_chunked(nullptr, 3, 8, [&](std::size_t i) { order.push_back(i); });

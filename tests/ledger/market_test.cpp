@@ -123,6 +123,91 @@ TEST(MarketOrchestrator, StatsAreInternallyConsistent) {
   EXPECT_EQ(market.protocol().chain().height(), st.rounds);
 }
 
+// --- MarketStats edge-case semantics, locked in by regression tests. ---
+
+TEST(MarketStatsEdge, AllocationRateWithZeroSubmissionsIsZeroNotNaN) {
+  const MarketStats empty;
+  EXPECT_EQ(empty.allocation_rate(), 0.0);
+  // And through a live orchestrator that never saw a bid:
+  MarketOrchestrator market(small_config());
+  EXPECT_EQ(market.stats().allocation_rate(), 0.0);
+}
+
+TEST(MarketStatsEdge, MaxResubmissionsZeroGivesExactlyOneRound) {
+  MarketConfig mc = small_config();
+  mc.max_resubmissions = 0;
+  MarketOrchestrator market(mc);
+  market.submit(make_request(1, 0.000001));  // hopeless: cannot afford anything
+  market.submit(make_offer(1, 50.0));
+  const auto outcome = market.run_round(0);
+  EXPECT_TRUE(outcome.block_accepted);
+  // One round, no resubmission: the request is abandoned and the offer is
+  // gone too — the queue is empty after the single attempt.
+  EXPECT_EQ(market.stats().rounds, 1u);
+  EXPECT_EQ(market.stats().requests_abandoned, 1u);
+  EXPECT_EQ(market.stats().requests_allocated, 0u);
+  EXPECT_EQ(market.queued_bids(), 0u);
+  market.drain(10);
+  EXPECT_EQ(market.stats().rounds, 1u);  // drain finds nothing to do
+}
+
+TEST(MarketStatsEdge, DeniedAgreementRevertsLatencyAndRefundsOffer) {
+  MarketOrchestrator market(small_config());
+  market.submit(make_request(1, 5.0));
+  market.submit(make_offer(1, 0.1));
+  market.submit(make_offer(2, 0.2));
+  const auto outcome = market.run_round(0);
+  ASSERT_TRUE(outcome.block_accepted);
+  ASSERT_EQ(market.stats().requests_allocated, 1u);
+  ASSERT_EQ(outcome.agreements.size(), 1u);
+  const std::size_t latency_before = std::accumulate(market.stats().allocation_latency.begin(),
+                                                     market.stats().allocation_latency.end(),
+                                                     std::size_t{0});
+  ASSERT_EQ(latency_before, 1u);
+  const std::size_t offers_queued_before = market.queued_bids();
+
+  ASSERT_TRUE(market.deny_agreement(outcome.agreements[0]));
+
+  // The allocation is un-counted and the latency histogram reverts with it
+  // (invariant: Σ latency == requests_allocated survives denial).
+  EXPECT_EQ(market.stats().requests_allocated, 0u);
+  EXPECT_EQ(market.stats().agreements_denied, 1u);
+  const std::size_t latency_after = std::accumulate(market.stats().allocation_latency.begin(),
+                                                    market.stats().allocation_latency.end(),
+                                                    std::size_t{0});
+  EXPECT_EQ(latency_after, 0u);
+  // The provider's offer is still queued (denial refunds its attempt, so
+  // it does not age out faster than an unmatched offer would).
+  EXPECT_GE(market.queued_bids(), offers_queued_before);
+
+  // Denying twice fails: the agreement already left the Proposed state.
+  EXPECT_FALSE(market.deny_agreement(outcome.agreements[0]));
+
+  // The refunded offer can still serve a NEW request, whose latency lands
+  // in the first-attempt bucket as usual.
+  market.submit(make_request(2, 5.0));
+  const auto second = market.run_round(600);
+  ASSERT_TRUE(second.block_accepted);
+  EXPECT_EQ(market.stats().requests_allocated, 1u);
+  ASSERT_FALSE(market.stats().allocation_latency.empty());
+  EXPECT_EQ(market.stats().allocation_latency[0], 1u);
+}
+
+TEST(MarketStatsEdge, DenyAgreementRejectsUnknownOrStaleIds) {
+  MarketOrchestrator market(small_config());
+  EXPECT_FALSE(market.deny_agreement(ContractId(12345)));
+  market.submit(make_request(1, 5.0));
+  market.submit(make_offer(1, 0.1));
+  market.submit(make_offer(2, 0.2));
+  const auto outcome = market.run_round(0);
+  ASSERT_TRUE(outcome.block_accepted);
+  ASSERT_EQ(outcome.agreements.size(), 1u);
+  // A later round supersedes the deniable set.
+  market.submit(make_request(2, 5.0));
+  (void)market.run_round(600);
+  EXPECT_FALSE(market.deny_agreement(outcome.agreements[0]));
+}
+
 TEST(MarketOrchestrator, ValidatesOnSubmit) {
   MarketOrchestrator market(small_config());
   auction::Request bad = make_request(1, -1.0);
