@@ -1,11 +1,25 @@
 #include "auction/mcafee.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+
+#include "common/ensure.hpp"
 
 namespace decloud::auction {
 
 namespace {
+
+/// Both reference auctions price by arithmetic on the sorted bid arrays;
+/// a NaN/∞ bid would silently poison every downstream comparison.
+void validate_bids(const std::vector<UnitBid>& buyers, const std::vector<UnitBid>& sellers) {
+  for (const UnitBid& b : buyers) {
+    DECLOUD_EXPECTS_MSG(std::isfinite(b.value), "buyer bids must be finite");
+  }
+  for (const UnitBid& s : sellers) {
+    DECLOUD_EXPECTS_MSG(std::isfinite(s.value), "seller bids must be finite");
+  }
+}
 
 void sort_sides(std::vector<UnitBid>& buyers, std::vector<UnitBid>& sellers) {
   std::sort(buyers.begin(), buyers.end(), [](const UnitBid& a, const UnitBid& b) {
@@ -30,6 +44,7 @@ std::size_t efficient_pairs(const std::vector<UnitBid>& buyers,
 }  // namespace
 
 UnitAuctionResult mcafee_auction(std::vector<UnitBid> buyers, std::vector<UnitBid> sellers) {
+  validate_bids(buyers, sellers);
   UnitAuctionResult result;
   sort_sides(buyers, sellers);
   const std::size_t z = efficient_pairs(buyers, sellers);
@@ -62,6 +77,7 @@ UnitAuctionResult mcafee_auction(std::vector<UnitBid> buyers, std::vector<UnitBi
 }
 
 UnitAuctionResult sbba_auction(std::vector<UnitBid> buyers, std::vector<UnitBid> sellers) {
+  validate_bids(buyers, sellers);
   UnitAuctionResult result;
   sort_sides(buyers, sellers);
   const std::size_t z = efficient_pairs(buyers, sellers);

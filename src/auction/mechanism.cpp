@@ -5,6 +5,7 @@
 #include <numeric>
 #include <optional>
 
+#include "auction/audit.hpp"
 #include "auction/cluster.hpp"
 #include "auction/economics.hpp"
 #include "auction/feasibility.hpp"
@@ -103,7 +104,10 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
   RoundResult result;
   result.payment_by_request.assign(snapshot.requests.size(), 0.0);
   result.revenue_by_offer.assign(snapshot.offers.size(), 0.0);
-  if (snapshot.requests.empty() || snapshot.offers.empty()) return result;
+  if (snapshot.requests.empty() || snapshot.offers.empty()) {
+    if constexpr (audit::kEnabled) audit::check_round(snapshot, result);
+    return result;
+  }
 
   // --- Step 1–2: rank best offers per request and form clusters (Alg. 2).
   // Scoring runs over the dense ScoreMatrix and fans out across requests —
@@ -159,6 +163,7 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
                        m.consumed);
       }
     }
+    if constexpr (audit::kEnabled) audit::check_round(snapshot, result);
     return result;
   }
 
@@ -187,7 +192,25 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
 
   for (const MiniAuction& auction : auctions) {
     const PriceQuote quote = determine_price(auction, priced, cluster_done);
+
+    // Snapshot the state the price was quoted against, so the audit can
+    // re-derive Eq. 20 after processing has consumed the tentative lists.
+    [[maybe_unused]] std::vector<char> audit_done_before;
+    [[maybe_unused]] std::vector<char> audit_tradeable_before;
+    [[maybe_unused]] const std::size_t audit_first_match = result.matches.size();
+    if constexpr (audit::kEnabled) {
+      audit_done_before = cluster_done;
+      audit_tradeable_before.resize(priced.size());
+      for (std::size_t ci = 0; ci < priced.size(); ++ci) {
+        audit_tradeable_before[ci] = priced[ci].tradeable() ? 1 : 0;
+      }
+    }
+
     if (!quote.valid) {
+      if constexpr (audit::kEnabled) {
+        audit::check_mini_auction(snapshot, priced, auction, quote, audit_done_before,
+                                  audit_tradeable_before, result, audit_first_match);
+      }
       for (const std::size_t ci : auction.clusters) cluster_done[ci] = 1;
       continue;
     }
@@ -338,12 +361,18 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
       for (const auto& re : priced[ci].econ.requests) request_processed[re.request] = 1;
       for (const auto& oe : priced[ci].econ.offers) offer_processed[oe.offer] = 1;
     }
+
+    if constexpr (audit::kEnabled) {
+      audit::check_mini_auction(snapshot, priced, auction, quote, audit_done_before,
+                                audit_tradeable_before, result, audit_first_match);
+    }
   }
 
   // reduced_trades was accumulated at the filter stage: it counts trades
   // lost to the price-setter exclusion and the price filter (the paper's
   // Fig. 5c metric).  Welfare lost to the verifiable lottery shows up in
   // the welfare figures instead.
+  if constexpr (audit::kEnabled) audit::check_round(snapshot, result);
   return result;
 }
 

@@ -29,6 +29,8 @@ std::vector<std::size_t> select_roots(const std::vector<PricedCluster>& priced) 
   std::vector<Interval> ivals;
   for (std::size_t i = 0; i < priced.size(); ++i) {
     if (!priced[i].tradeable()) continue;
+    DECLOUD_EXPECTS_MSG(priced[i].range_hi() > priced[i].range_lo(),
+                        "tradeable cluster must have a well-formed price range");
     // ε keeps zero-welfare clusters selectable: maximality matters more
     // than their marginal weight.
     ivals.push_back({i, priced[i].range_lo(), priced[i].range_hi(),

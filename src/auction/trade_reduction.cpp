@@ -1,11 +1,16 @@
 #include "auction/trade_reduction.hpp"
 
+#include "common/ensure.hpp"
+
 namespace decloud::auction {
 
 PriceQuote determine_price(const MiniAuction& auction, const std::vector<PricedCluster>& priced,
                            const std::vector<char>& cluster_done) {
+  DECLOUD_EXPECTS_MSG(cluster_done.size() == priced.size(),
+                      "done mask must be aligned with the round's cluster list");
   PriceQuote quote;
   for (const std::size_t ci : auction.clusters) {
+    DECLOUD_EXPECTS_MSG(ci < priced.size(), "mini-auction references an unknown cluster");
     if (cluster_done[ci]) continue;
     const PricedCluster& pc = priced[ci];
     if (!pc.tradeable()) continue;

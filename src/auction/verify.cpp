@@ -6,6 +6,7 @@
 
 #include "auction/feasibility.hpp"
 #include "auction/mechanism.hpp"
+#include "common/ensure.hpp"
 
 namespace decloud::auction {
 
@@ -27,6 +28,8 @@ std::string cat(Args&&... args) {
 
 VerificationReport verify_invariants(const MarketSnapshot& snapshot, const RoundResult& result,
                                      const AuctionConfig& config, bool check_payments) {
+  DECLOUD_EXPECTS_MSG(config.flexibility > 0.0 && config.flexibility <= 1.0,
+                      "flexibility must lie in (0, 1]");
   VerificationReport report;
   auto fail = [&](std::string msg) { report.violations.push_back(std::move(msg)); };
 
@@ -129,6 +132,8 @@ VerificationReport verify_invariants(const MarketSnapshot& snapshot, const Round
 
 VerificationReport verify_replay(const MarketSnapshot& snapshot, const RoundResult& claimed,
                                  const AuctionConfig& config, std::uint64_t seed) {
+  DECLOUD_EXPECTS_MSG(config.flexibility > 0.0 && config.flexibility <= 1.0,
+                      "flexibility must lie in (0, 1]");
   VerificationReport report;
   const RoundResult replay = DeCloudAuction(config).run(snapshot, seed);
 

@@ -61,8 +61,11 @@ std::vector<std::uint8_t> ByteReader::read_bytes() {
 }
 
 std::string ByteReader::read_string() {
-  const auto bytes = read_bytes();
-  return std::string(bytes.begin(), bytes.end());
+  const std::uint32_t n = read_u32();
+  require(n);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
 }
 
 }  // namespace decloud

@@ -5,7 +5,7 @@
 namespace decloud {
 
 std::uint32_t Interner::intern(std::string_view name) {
-  if (const auto it = index_.find(std::string(name)); it != index_.end()) return it->second;
+  if (const auto it = index_.find(name); it != index_.end()) return it->second;
   const auto idx = static_cast<std::uint32_t>(names_.size());
   names_.emplace_back(name);
   index_.emplace(names_.back(), idx);
@@ -13,7 +13,7 @@ std::uint32_t Interner::intern(std::string_view name) {
 }
 
 std::uint32_t Interner::find(std::string_view name) const {
-  const auto it = index_.find(std::string(name));
+  const auto it = index_.find(name);
   return it == index_.end() ? npos : it->second;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -17,6 +18,15 @@ namespace decloud {
 /// Bidirectional string ↔ dense-index mapping.  Indices are stable for the
 /// lifetime of the interner and start at 0.
 class Interner {
+  /// Transparent hash so lookups accept string_view without materializing a
+  /// std::string (resource types are looked up on every bid validation).
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
  public:
   /// Returns the index for `name`, interning it on first sight.
   std::uint32_t intern(std::string_view name);
@@ -32,7 +42,7 @@ class Interner {
   static constexpr std::uint32_t npos = UINT32_MAX;
 
  private:
-  std::unordered_map<std::string, std::uint32_t> index_;
+  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>> index_;
   std::vector<std::string> names_;
 };
 

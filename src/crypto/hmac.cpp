@@ -30,10 +30,14 @@ std::vector<std::uint8_t> derive_bytes(std::span<const std::uint8_t> key,
                                        std::span<const std::uint8_t> info, std::size_t n) {
   std::vector<std::uint8_t> out;
   out.reserve(n);
+  std::vector<std::uint8_t> msg(info.begin(), info.end());
+  msg.resize(info.size() + 4);  // trailing counter bytes, rewritten per block
   std::uint32_t counter = 0;
   while (out.size() < n) {
-    std::vector<std::uint8_t> msg(info.begin(), info.end());
-    for (int i = 0; i < 4; ++i) msg.push_back(static_cast<std::uint8_t>(counter >> (8 * i)));
+    for (int i = 0; i < 4; ++i) {
+      msg[info.size() + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(counter >> (8 * i));
+    }
     const Digest block = hmac_sha256(key, msg);
     const std::size_t take = std::min(block.size(), n - out.size());
     out.insert(out.end(), block.begin(), block.begin() + static_cast<std::ptrdiff_t>(take));

@@ -34,6 +34,9 @@ Sha256::Sha256() : state_(kInitialState), buffer_{} {}
 
 Sha256& Sha256::update(std::span<const std::uint8_t> data) {
   DECLOUD_EXPECTS_MSG(!finished_, "Sha256 reused after finish()");
+  // An empty span's data() may be null, and memcpy forbids null even for
+  // zero lengths (UBSan: "null pointer passed as argument").
+  if (data.empty()) return *this;
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

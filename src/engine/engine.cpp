@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/audit.hpp"
 #include "common/ensure.hpp"
 
 namespace decloud::engine {
@@ -77,6 +78,7 @@ EngineReport MarketEngine::report() const {
     report.bids_spilled += sr.bids_spilled;
     report.shards.push_back(std::move(sr));
   }
+  if constexpr (decloud::audit::kEnabled) audit_report(report);
   return report;
 }
 

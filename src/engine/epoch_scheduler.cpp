@@ -1,5 +1,8 @@
 #include "engine/epoch_scheduler.hpp"
 
+#include "common/audit.hpp"
+#include "common/ensure.hpp"
+
 namespace decloud::engine {
 
 EpochScheduler::EpochScheduler(MarketEngine& engine, std::size_t threads) : engine_(engine) {
@@ -17,6 +20,8 @@ void EpochScheduler::tick(Time now) {
 
 std::size_t EpochScheduler::run(std::size_t max_epochs, Time start_time,
                                 Seconds epoch_interval) {
+  DECLOUD_EXPECTS_MSG(epoch_interval > 0,
+                      "epoch interval must advance simulated time, or retry windows never age");
   const std::size_t before = epochs_;
   Time now = start_time;
   for (std::size_t epoch = 0; epoch < max_epochs && engine_.queued_bids() > 0; ++epoch) {
@@ -29,6 +34,7 @@ std::size_t EpochScheduler::run(std::size_t max_epochs, Time start_time,
 EngineReport EpochScheduler::report() const {
   EngineReport report = engine_.report();
   report.epochs = epochs_;
+  if constexpr (decloud::audit::kEnabled) audit_report(report);
   return report;
 }
 

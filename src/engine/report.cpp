@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/audit.hpp"
+
 namespace decloud::engine {
 
 namespace {
@@ -43,6 +45,51 @@ void merge_stats(ledger::MarketStats& total, const ledger::MarketStats& shard) {
   for (std::size_t i = 0; i < shard.allocation_latency.size(); ++i) {
     total.allocation_latency[i] += shard.allocation_latency[i];
   }
+}
+
+void audit_report(const EngineReport& report) {
+  using decloud::audit::check;
+
+  ledger::MarketStats remerged;
+  std::size_t rejected = 0;
+  std::size_t spilled = 0;
+  for (std::size_t i = 0; i < report.shards.size(); ++i) {
+    const ShardReport& s = report.shards[i];
+    check(s.shard == i, "shard slices stored in fixed shard order");
+    check(s.welfare() == s.stats.total_welfare, "shard welfare alias reconciles");
+    merge_stats(remerged, s.stats);
+    rejected += s.bids_rejected_backpressure;
+    spilled += s.bids_spilled;
+  }
+  check(report.bids_rejected_backpressure == rejected,
+        "backpressure counter equals the per-shard sum");
+  check(report.bids_spilled == spilled, "spillover counter equals the per-shard sum");
+
+  // The re-merge above walked shards in the same fixed order report()
+  // uses, so every field — welfare doubles included — compares exactly.
+  check(remerged.rounds == report.total.rounds, "total rounds reconcile");
+  check(remerged.requests_submitted == report.total.requests_submitted,
+        "total requests_submitted reconciles");
+  check(remerged.requests_allocated == report.total.requests_allocated,
+        "total requests_allocated reconciles");
+  check(remerged.requests_abandoned == report.total.requests_abandoned,
+        "total requests_abandoned reconciles");
+  check(remerged.offers_submitted == report.total.offers_submitted,
+        "total offers_submitted reconciles");
+  check(remerged.agreements_denied == report.total.agreements_denied,
+        "total agreements_denied reconciles");
+  check(remerged.total_welfare == report.total.total_welfare,
+        "total welfare reconciles bitwise (fixed-order merge)");
+  check(remerged.total_settled == report.total.total_settled,
+        "total settled money reconciles bitwise (fixed-order merge)");
+  check(remerged.allocation_latency == report.total.allocation_latency,
+        "latency histogram reconciles element-wise");
+  check(report.total.requests_allocated <= report.total.requests_submitted,
+        "allocations bounded by submissions");
+  std::size_t latency_sum = 0;
+  for (const std::size_t n : report.total.allocation_latency) latency_sum += n;
+  check(latency_sum == report.total.requests_allocated,
+        "Σ allocation_latency == requests_allocated");
 }
 
 std::string EngineReport::summary_json() const {

@@ -58,4 +58,13 @@ struct EngineReport {
 /// against the aggregate.
 void merge_stats(ledger::MarketStats& total, const ledger::MarketStats& shard);
 
+/// DECLOUD_AUDIT invariant: every engine-level counter and every field of
+/// `total` (including the floating-point welfare sums, which merge in
+/// fixed shard order and therefore compare EXACTLY) must reconcile with an
+/// independent re-merge of the per-shard slices.  Always compiled — tests
+/// call it directly; MarketEngine::report() / EpochScheduler::report()
+/// invoke it only when audits are enabled.  Throws
+/// decloud::audit::audit_error on divergence.
+void audit_report(const EngineReport& report);
+
 }  // namespace decloud::engine

@@ -41,6 +41,8 @@ std::size_t ShardRouter::grid_shard(const auction::Location& loc) const {
 Route ShardRouter::route(const std::optional<auction::Location>& location,
                          std::uint64_t id) const {
   if (location.has_value()) {
+    DECLOUD_EXPECTS_MSG(std::isfinite(location->x) && std::isfinite(location->y),
+                        "bid location must be finite to route deterministically");
     for (const Region& region : config_.regions) {
       if (location->x >= region.x0 && location->x < region.x1 &&
           location->y >= region.y0 && location->y < region.y1) {

@@ -24,6 +24,7 @@ void MarketOrchestrator::submit(const auction::Offer& offer) {
 }
 
 RoundOutcome MarketOrchestrator::run_round(Time now) {
+  DECLOUD_EXPECTS_MSG(now >= 0, "simulated time is non-negative seconds since epoch");
   // Seal and submit everything queued; remember which attempt each bid is
   // on so we can histogram allocation latency afterwards.
   std::unordered_map<std::uint64_t, std::size_t> request_attempt;

@@ -51,5 +51,36 @@ TEST(Ensure, MessageContainsSourceLocation) {
   }
 }
 
+TEST(Ensure, EnsuresMsgCarriesDetail) {
+  try {
+    DECLOUD_ENSURES_MSG(false, "ledger drifted");
+    FAIL() << "should have thrown";
+  } catch (const invariant_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ledger drifted"), std::string::npos);
+  }
+}
+
+TEST(Ensure, FreeFunctionsMatchMacros) {
+  // The macros are thin wrappers; the free functions must be usable
+  // directly (the audit layer builds on the same throw path).
+  EXPECT_NO_THROW(expects(true, "always"));
+  EXPECT_NO_THROW(ensures(true, "always"));
+  EXPECT_THROW(expects(false, "never"), precondition_error);
+  EXPECT_THROW(ensures(false, "never"), invariant_error);
+}
+
+TEST(Ensure, ErrorsAreLogicErrors) {
+  // Miners wrap whole-round verification in a single std::logic_error
+  // handler; both error families must flow through it.
+  EXPECT_THROW(DECLOUD_EXPECTS(false), std::logic_error);
+  EXPECT_THROW(DECLOUD_ENSURES(false), std::logic_error);
+}
+
+TEST(Ensure, ConditionSideEffectsHappenExactlyOnce) {
+  int evaluations = 0;
+  DECLOUD_EXPECTS(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
 }  // namespace
 }  // namespace decloud

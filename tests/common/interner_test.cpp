@@ -51,6 +51,19 @@ TEST(Interner, EmptyStringIsValidKey) {
   EXPECT_EQ(in.name(idx), "");
 }
 
+TEST(Interner, RoundTripsEveryIndexThroughNameAndBack) {
+  // The resource-type registry is persisted by name and reloaded by
+  // re-interning: intern(name(i)) == i must hold for every live index.
+  Interner in;
+  const char* kTypes[] = {"cpu", "memory", "disk", "latency", "sgx", "reputation"};
+  for (const char* t : kTypes) in.intern(t);
+  for (std::uint32_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(in.intern(in.name(i)), i);
+    EXPECT_EQ(in.find(in.name(i)), i);
+  }
+  EXPECT_EQ(in.size(), std::size(kTypes));  // round-trip must not grow the table
+}
+
 TEST(Interner, ManyKeysStayStable) {
   Interner in;
   for (int i = 0; i < 1000; ++i) in.intern("k" + std::to_string(i));

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -48,6 +52,39 @@ TEST(StrongId, StreamsUnderlyingValue) {
   std::ostringstream os;
   os << OfferId(99);
   EXPECT_EQ(os.str(), "99");
+}
+
+TEST(StrongId, HashAgreesWithUnderlyingValue) {
+  // Sealed-bid codecs hash ids as raw uint64s; the strong-id hash must
+  // stay consistent with that so unordered lookups agree across layers.
+  EXPECT_EQ(std::hash<ClientId>{}(ClientId(7)), std::hash<std::uint64_t>{}(7u));
+  EXPECT_EQ(std::hash<ProviderId>{}(ProviderId(0)), std::hash<std::uint64_t>{}(0u));
+}
+
+TEST(StrongId, HashConsistentWithEquality) {
+  EXPECT_EQ(std::hash<RequestId>{}(RequestId(12)), std::hash<RequestId>{}(RequestId(12)));
+  EXPECT_NE(RequestId(12), RequestId(13));  // equal hashes would be legal, equal ids are not
+}
+
+TEST(StrongId, WorksAsUnorderedMapKey) {
+  std::unordered_map<OfferId, int> capacity;
+  capacity[OfferId(5)] = 3;
+  capacity[OfferId(9)] = 1;
+  capacity[OfferId(5)] += 2;
+  EXPECT_EQ(capacity.size(), 2u);
+  EXPECT_EQ(capacity.at(OfferId(5)), 5);
+}
+
+TEST(StrongId, SortedOrderMatchesUnderlying) {
+  std::vector<ClientId> ids = {ClientId(9), ClientId(1), ClientId(5)};
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<ClientId>{ClientId(1), ClientId(5), ClientId(9)}));
+}
+
+TEST(StrongId, MaxValueRoundtrips) {
+  const auto max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(ClientId(max).value(), max);
+  EXPECT_LT(ClientId(max - 1), ClientId(max));
 }
 
 }  // namespace

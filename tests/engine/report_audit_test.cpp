@@ -1,0 +1,97 @@
+#include "engine/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/audit.hpp"
+#include "engine/engine.hpp"
+#include "engine/epoch_scheduler.hpp"
+
+namespace decloud::engine {
+namespace {
+
+// audit_report is always compiled (DECLOUD_AUDIT only gates the call sites
+// in MarketEngine::report / EpochScheduler::report), so these tests run in
+// every build configuration.
+
+EngineReport cleared_market_report() {
+  EngineConfig config;
+  config.router.num_shards = 2;
+  config.router.x0 = 0.0;
+  config.router.x1 = 100.0;
+  config.router.y0 = 0.0;
+  config.router.y1 = 100.0;
+  config.market.consensus.difficulty_bits = 8;
+  config.market.num_verifiers = 1;
+  config.market.consensus.auction.threads = 1;
+  MarketEngine engine(config);
+
+  auction::Request r;
+  r.id = RequestId(1);
+  r.client = ClientId(1);
+  r.submitted = 1;
+  r.resources.set(auction::ResourceSchema::kCpu, 1.0);
+  r.window_start = 0;
+  r.window_end = 1'000'000;
+  r.duration = 3600;
+  r.bid = 5.0;
+  r.location = auction::Location{10.0, 10.0};
+  engine.submit(r);
+
+  for (std::uint64_t i = 1; i <= 2; ++i) {
+    auction::Offer o;
+    o.id = OfferId(i);
+    o.provider = ProviderId(i);
+    o.submitted = static_cast<Time>(i);
+    o.resources.set(auction::ResourceSchema::kCpu, 4.0);
+    o.window_start = 0;
+    o.window_end = 2'000'000;
+    o.bid = 0.1 * static_cast<double>(i);
+    o.location = auction::Location{10.0 + static_cast<double>(i), 10.0};
+    engine.submit(o);
+  }
+
+  EpochScheduler scheduler(engine, /*threads=*/1);
+  scheduler.run(/*max_epochs=*/8);
+  return scheduler.report();
+}
+
+TEST(AuditReport, PassesOnRealEngineReport) {
+  const EngineReport report = cleared_market_report();
+  ASSERT_GT(report.total.requests_allocated, 0u);  // the market actually cleared
+  EXPECT_NO_THROW(audit_report(report));
+}
+
+TEST(AuditReport, CatchesWelfareDrift) {
+  EngineReport report = cleared_market_report();
+  report.total.total_welfare += 1e-9;  // bitwise reconciliation: any drift fails
+  EXPECT_THROW(audit_report(report), decloud::audit::audit_error);
+}
+
+TEST(AuditReport, CatchesShardOrderViolation) {
+  EngineReport report = cleared_market_report();
+  ASSERT_GE(report.shards.size(), 2u);
+  std::swap(report.shards[0], report.shards[1]);  // breaks the fixed-order contract
+  EXPECT_THROW(audit_report(report), decloud::audit::audit_error);
+}
+
+TEST(AuditReport, CatchesCounterDrift) {
+  EngineReport report = cleared_market_report();
+  report.bids_rejected_backpressure += 1;
+  EXPECT_THROW(audit_report(report), decloud::audit::audit_error);
+}
+
+TEST(AuditReport, CatchesLatencyHistogramTampering) {
+  EngineReport report = cleared_market_report();
+  report.total.allocation_latency.push_back(3);  // phantom allocations
+  EXPECT_THROW(audit_report(report), decloud::audit::audit_error);
+}
+
+TEST(AuditReport, CatchesUnderReportedSubmissions) {
+  EngineReport report = cleared_market_report();
+  ASSERT_GT(report.total.requests_submitted, 0u);
+  report.total.requests_submitted -= 1;
+  EXPECT_THROW(audit_report(report), decloud::audit::audit_error);
+}
+
+}  // namespace
+}  // namespace decloud::engine

@@ -1,0 +1,39 @@
+// Seeded violation fixture for declint's deterministic-module rules.  This
+// file is NOT compiled; it exists so `declint --root tools/declint/fixtures
+// src` exits non-zero, proving the gate actually gates (ctest WILL_FAIL).
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace decloud::auction {
+
+struct RoundResult {
+  double welfare = 0.0;
+};
+
+struct DeCloudAuction {
+  RoundResult run() const;
+};
+
+// entry-ensure: a mechanism entry point with no ENSURE-style check.
+RoundResult DeCloudAuction::run() const {
+  RoundResult result;
+  std::unordered_map<int, double> payments;
+  payments[1] = 2.0;
+
+  // unordered-iter: hash-order iteration in a deterministic module.
+  for (const auto& [id, amount] : payments) {
+    result.welfare += amount;
+  }
+
+  // float-reduce: unspecified operand grouping over money.
+  std::vector<double> bids{1.0, 2.0, 3.0};
+  result.welfare += std::reduce(bids.begin(), bids.end());
+
+  // Suppressed on purpose — must NOT add a finding (suppression coverage).
+  std::vector<double> more = bids;  // declint:allow(float-reduce)
+  result.welfare += std::reduce(more.begin(), more.end());
+  return result;
+}
+
+}  // namespace decloud::auction

@@ -1,0 +1,25 @@
+// Seeded violations: naked ownership and OpenMP scheduling.
+// Not compiled; scanned by the declint.fixture ctest (expected to fail).
+
+namespace decloud {
+
+struct Node {
+  int value = 0;
+};
+
+int bad_ownership() {
+  // naked-new: ownership must go through containers / make_unique.
+  Node* n = new Node();
+  const int v = n->value;
+  delete n;
+
+  int sum = 0;
+// omp-pragma: OpenMP's schedule is nondeterministic.
+#pragma omp parallel for
+  for (int i = 0; i < 8; ++i) {
+    sum += i;
+  }
+  return v + sum;
+}
+
+}  // namespace decloud

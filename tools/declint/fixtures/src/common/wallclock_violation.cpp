@@ -1,0 +1,24 @@
+// Seeded violations: ambient clocks and randomness outside the allowlist.
+// Not compiled; scanned by the declint.fixture ctest (expected to fail).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace decloud {
+
+long bad_timestamp() {
+  // wallclock: the host clock must never influence mechanism state.
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::seconds>(now.time_since_epoch()).count() +
+         time(nullptr);
+}
+
+int bad_random() {
+  // ambient-rng: non-reproducible across miners.
+  std::random_device rd;
+  srand(42);
+  return static_cast<int>(rd()) + rand();
+}
+
+}  // namespace decloud
