@@ -11,7 +11,11 @@
 //   * full_mechanism   — DeCloudAuction::run end to end at 1..N threads;
 //   * engine_drive     — the sharded engine end to end (trace-driven
 //     stream, epoch scheduling) at each (shards, threads) pair, with
-//     bids/sec as the headline metric.
+//     bids/sec as the headline metric;
+//   * mechanism_null_sink / mechanism_live_sink — full_mechanism with the
+//     observability hooks off (null MetricsSink*, the default) vs. on, so
+//     bench/trajectory/ tracks the instrumentation overhead against the
+//     ≤2% live-sink budget of DESIGN.md §3e.
 //
 // Usage: perf_smoke [--rounds N] [--threads a,b,c] [--shards a,b,c]
 //   --rounds   timing repetitions per entry; the MINIMUM is reported
@@ -21,7 +25,6 @@
 //   --shards   comma-separated shard counts for the engine entries
 //              (default "1,4"; pass 0 to skip the engine section)
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +38,8 @@
 #include "engine/driver.hpp"
 #include "engine/engine.hpp"
 #include "engine/epoch_scheduler.hpp"
+#include "obs/clock.hpp"
+#include "obs/sink.hpp"
 #include "trace/workload.hpp"
 
 namespace {
@@ -49,15 +54,18 @@ auction::MarketSnapshot make_market(std::size_t requests, std::uint64_t seed) {
   return trace::make_workload(wc, auction::AuctionConfig{}, rng);
 }
 
-/// Minimum wall time of `rounds` invocations, in milliseconds.
+/// Minimum wall time of `rounds` invocations, in milliseconds.  Timing
+/// goes through obs::SteadyClock — the repo's one sanctioned wall-clock
+/// site (declint rule wallclock-outside-obs covers bench/ too).
 template <typename Fn>
 double time_min_ms(int rounds, const Fn& fn) {
+  obs::SteadyClock clock;
   double best = 1e300;
   for (int i = 0; i < rounds; ++i) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t t0 = clock.now_ns();
     fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    const std::uint64_t t1 = clock.now_ns();
+    best = std::min(best, static_cast<double>(t1 - t0) / 1e6);
   }
   return best;
 }
@@ -173,6 +181,31 @@ int main(int argc, char** argv) {
       });
       entries.push_back({"full_mechanism", s.requests.size(), s.offers.size(), t, ms});
     }
+  }
+
+  // --- observability overhead: the same single-threaded mechanism with
+  // hooks off (null sink — one pointer test per hook) and on (live sink).
+  // Compare the pair in bench/trajectory/: live must stay within ~2% of
+  // null, and null within noise of full_mechanism@1.
+  {
+    const auto s = make_market(512, 4);
+    auction::AuctionConfig cfg;
+    cfg.threads = 1;
+    const auction::DeCloudAuction mechanism(cfg);
+    std::uint64_t seed = 0;
+    const double null_ms = time_min_ms(rounds, [&] {
+      volatile auto matches = mechanism.run(s, ++seed, nullptr).matches.size();
+      (void)matches;
+    });
+    entries.push_back({"mechanism_null_sink", s.requests.size(), s.offers.size(), 1, null_ms});
+
+    obs::MetricsSink live("perf_smoke");
+    seed = 0;
+    const double live_ms = time_min_ms(rounds, [&] {
+      volatile auto matches = mechanism.run(s, ++seed, &live).matches.size();
+      (void)matches;
+    });
+    entries.push_back({"mechanism_live_sink", s.requests.size(), s.offers.size(), 1, live_ms});
   }
 
   // --- sharded engine end to end (cross-shard axis).

@@ -16,6 +16,7 @@
 #include "common/ensure.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/sink.hpp"
 
 namespace decloud::auction {
 
@@ -95,9 +96,30 @@ void finalize_match(RoundResult& result, const MarketSnapshot& snapshot, std::si
   result.matches.push_back(m);
 }
 
+/// Round-level telemetry, recorded once per run at every exit point.  All
+/// values are deterministic functions of the (deterministic) result, so an
+/// instrumented run exports the same bytes regardless of thread count.
+void record_round(obs::MetricsSink* sink, const MarketSnapshot& snapshot,
+                  const RoundResult& result) {
+  if (sink == nullptr) return;
+  obs::MetricsRegistry& m = sink->metrics();
+  m.counter("auction.rounds").add(1);
+  m.counter("auction.requests").add(snapshot.requests.size());
+  m.counter("auction.offers").add(snapshot.offers.size());
+  m.counter("auction.matches").add(result.matches.size());
+  m.counter("auction.tentative_trades").add(result.tentative_trades);
+  m.counter("auction.reduced_trades").add(result.reduced_trades);
+  m.counter("auction.lottery_clusters").add(result.lottery_clusters);
+  m.gauge("auction.welfare").add(result.welfare);
+  m.gauge("auction.payments").add(result.total_payments);
+  stats::Histogram& prices = m.histogram("auction.clearing_price", 0.0, 4.0, 16);
+  for (const double p : result.clearing_prices) prices.add(p);
+}
+
 }  // namespace
 
-RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t seed) const {
+RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t seed,
+                                obs::MetricsSink* sink) const {
   for (const auto& r : snapshot.requests) validate(r);
   for (const auto& o : snapshot.offers) validate(o);
 
@@ -106,6 +128,7 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
   result.revenue_by_offer.assign(snapshot.offers.size(), 0.0);
   if (snapshot.requests.empty() || snapshot.offers.empty()) {
     if constexpr (audit::kEnabled) audit::check_round(snapshot, result);
+    record_round(sink, snapshot, result);
     return result;
   }
 
@@ -116,74 +139,94 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
   // does not depend on the worker count.  Cluster folding stays serial and
   // ordered: Algorithm 2 is fold-order-sensitive, and the ledger's
   // collective verification replays this allocation byte-for-byte.
-  const BlockScale scale(snapshot.requests, snapshot.offers);
-  const ScoreMatrix scores(snapshot, scale);
   std::vector<std::size_t> request_order(snapshot.requests.size());
-  std::iota(request_order.begin(), request_order.end(), std::size_t{0});
-  std::sort(request_order.begin(), request_order.end(), [&](std::size_t a, std::size_t b) {
-    const Request& ra = snapshot.requests[a];
-    const Request& rb = snapshot.requests[b];
-    if (ra.submitted != rb.submitted) return ra.submitted < rb.submitted;
-    return ra.id < rb.id;
-  });
-
-  const std::size_t workers =
-      config_.threads == 0 ? ThreadPool::default_workers() : config_.threads;
-  std::optional<ThreadPool> pool;
-  if (workers > 1 && snapshot.requests.size() >= kMinParallelRequests) pool.emplace(workers);
-
   std::vector<std::vector<std::size_t>> best_sets(snapshot.requests.size());
-  run_chunked(pool ? &*pool : nullptr, 0, snapshot.requests.size(), [&](std::size_t ri) {
-    best_sets[ri] = best_offers(ri, snapshot, scores, config_);
-  });
+  {
+    // Only the calling thread touches the sink: the fan-out workers write
+    // their own best_sets slots and nothing else, so one span wrapping the
+    // whole parallel section is race-free by construction.
+    obs::SpanScope span(sink, "score");
+    span.add_work(snapshot.requests.size() * snapshot.offers.size());
+
+    const BlockScale scale(snapshot.requests, snapshot.offers);
+    const ScoreMatrix scores(snapshot, scale);
+    std::iota(request_order.begin(), request_order.end(), std::size_t{0});
+    std::sort(request_order.begin(), request_order.end(), [&](std::size_t a, std::size_t b) {
+      const Request& ra = snapshot.requests[a];
+      const Request& rb = snapshot.requests[b];
+      if (ra.submitted != rb.submitted) return ra.submitted < rb.submitted;
+      return ra.id < rb.id;
+    });
+
+    const std::size_t workers =
+        config_.threads == 0 ? ThreadPool::default_workers() : config_.threads;
+    std::optional<ThreadPool> pool;
+    if (workers > 1 && snapshot.requests.size() >= kMinParallelRequests) pool.emplace(workers);
+
+    run_chunked(pool ? &*pool : nullptr, 0, snapshot.requests.size(), [&](std::size_t ri) {
+      best_sets[ri] = best_offers(ri, snapshot, scores, config_);
+    });
+  }
 
   ClusterSet cluster_set;
-  for (const std::size_t ri : request_order) {
-    if (!best_sets[ri].empty()) cluster_set.update(ri, best_sets[ri]);
+  {
+    obs::SpanScope span(sink, "cluster");
+    for (const std::size_t ri : request_order) {
+      if (!best_sets[ri].empty()) cluster_set.update(ri, best_sets[ri]);
+    }
+    span.add_work(cluster_set.size());
+    if (sink != nullptr) sink->metrics().counter("auction.clusters").add(cluster_set.size());
   }
 
   // --- Step 3: normalization + greedy tentative allocation per cluster.
   CapacityTracker capacity(snapshot.offers);
   std::vector<char> request_taken(snapshot.requests.size(), 0);
   std::vector<PricedCluster> priced;
-  priced.reserve(cluster_set.size());
-  for (std::size_t ci = 0; ci < cluster_set.size(); ++ci) {
-    priced.push_back(price_cluster(ci, compute_economics(cluster_set.clusters()[ci], snapshot),
-                                   snapshot, capacity, request_taken, config_));
-    result.tentative_trades += priced.back().tentative.size();
-  }
+  std::vector<MiniAuction> auctions;
+  {
+    obs::SpanScope span(sink, "miniauction");
+    priced.reserve(cluster_set.size());
+    for (std::size_t ci = 0; ci < cluster_set.size(); ++ci) {
+      priced.push_back(price_cluster(ci, compute_economics(cluster_set.clusters()[ci], snapshot),
+                                     snapshot, capacity, request_taken, config_));
+      result.tentative_trades += priced.back().tentative.size();
+    }
 
-  if (!config_.truthful) {
-    // Non-truthful greedy benchmark: every tentative match trades; no
-    // clearing price, no exclusions (welfare/satisfaction comparisons only).
-    for (const auto& pc : priced) {
-      for (const auto& m : pc.tentative) {
-        const double nu = pc.econ.nu_of_request(m.request);
-        finalize_match(result, snapshot, m.request, m.offer, std::isnan(nu) ? 0.0 : nu, 0.0,
-                       m.consumed);
+    if (!config_.truthful) {
+      // Non-truthful greedy benchmark: every tentative match trades; no
+      // clearing price, no exclusions (welfare/satisfaction comparisons only).
+      for (const auto& pc : priced) {
+        for (const auto& m : pc.tentative) {
+          const double nu = pc.econ.nu_of_request(m.request);
+          finalize_match(result, snapshot, m.request, m.offer, std::isnan(nu) ? 0.0 : nu, 0.0,
+                         m.consumed);
+        }
+      }
+      if constexpr (audit::kEnabled) audit::check_round(snapshot, result);
+      record_round(sink, snapshot, result);
+      return result;
+    }
+
+    // --- Step 4: mini-auctions (Alg. 3), processed in descending welfare.
+    // The ablation path clears every cluster alone instead of grouping.
+    if (config_.group_mini_auctions) {
+      auctions = create_mini_auctions(priced);
+    } else {
+      for (std::size_t ci = 0; ci < priced.size(); ++ci) {
+        if (!priced[ci].tradeable()) continue;
+        auctions.push_back({.clusters = {ci}, .welfare = priced[ci].welfare});
       }
     }
-    if constexpr (audit::kEnabled) audit::check_round(snapshot, result);
-    return result;
+    std::sort(auctions.begin(), auctions.end(), [](const MiniAuction& a, const MiniAuction& b) {
+      if (a.welfare != b.welfare) return a.welfare > b.welfare;
+      return a.clusters < b.clusters;
+    });
+    span.add_work(auctions.size());
   }
-
-  // --- Step 4: mini-auctions (Alg. 3), processed in descending welfare.
-  // The ablation path clears every cluster alone instead of grouping.
-  std::vector<MiniAuction> auctions;
-  if (config_.group_mini_auctions) {
-    auctions = create_mini_auctions(priced);
-  } else {
-    for (std::size_t ci = 0; ci < priced.size(); ++ci) {
-      if (!priced[ci].tradeable()) continue;
-      auctions.push_back({.clusters = {ci}, .welfare = priced[ci].welfare});
-    }
-  }
-  std::sort(auctions.begin(), auctions.end(), [](const MiniAuction& a, const MiniAuction& b) {
-    if (a.welfare != b.welfare) return a.welfare > b.welfare;
-    return a.clusters < b.clusters;
-  });
 
   // --- Step 5: trade reduction + verifiable randomization (Alg. 4).
+  obs::SpanScope trade_reduction_span(sink, "trade_reduction");
+  trade_reduction_span.add_work(auctions.size());
   Rng rng(seed);
   std::vector<char> cluster_done(priced.size(), 0);
   std::vector<char> request_processed(snapshot.requests.size(), 0);
@@ -373,6 +416,7 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
   // Fig. 5c metric).  Welfare lost to the verifiable lottery shows up in
   // the welfare figures instead.
   if constexpr (audit::kEnabled) audit::check_round(snapshot, result);
+  record_round(sink, snapshot, result);
   return result;
 }
 

@@ -24,6 +24,10 @@
 #include "auction/config.hpp"
 #include "auction/qom.hpp"
 
+namespace decloud::obs {
+class MetricsSink;
+}
+
 namespace decloud::auction {
 
 class ScoreMatrix;
@@ -58,7 +62,12 @@ class DeCloudAuction {
   /// Runs one allocation round over a block's requests and offers.
   /// `seed` is the verifiable-randomization evidence (block hash).
   /// Validates every bid; throws precondition_error on malformed input.
-  [[nodiscard]] RoundResult run(const MarketSnapshot& snapshot, std::uint64_t seed) const;
+  /// `sink`, when non-null, receives stage spans (score, cluster,
+  /// miniauction, trade_reduction) and round counters; a null sink makes
+  /// every hook a single pointer test (DESIGN.md §3e).  The sink NEVER
+  /// influences the result — instrumented and bare runs are byte-identical.
+  [[nodiscard]] RoundResult run(const MarketSnapshot& snapshot, std::uint64_t seed,
+                                obs::MetricsSink* sink = nullptr) const;
 
   [[nodiscard]] const AuctionConfig& config() const { return config_; }
 

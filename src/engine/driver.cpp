@@ -73,6 +73,12 @@ DriveOutcome drive_trace(MarketEngine& engine, EpochScheduler& scheduler,
   scheduler.run(config.drain_epochs, now, config.epoch_interval);
 
   outcome.report = scheduler.report();
+  if (obs::MetricsSink* sink = scheduler.sink(); sink != nullptr) {
+    obs::MetricsRegistry& m = sink->metrics();
+    m.counter("driver.bids_generated").add(outcome.bids_generated);
+    m.counter("driver.bids_admitted").add(outcome.bids_admitted);
+    m.counter("driver.bids_rejected").add(outcome.bids_rejected);
+  }
   return outcome;
 }
 

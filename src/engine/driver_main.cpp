@@ -1,0 +1,146 @@
+// engine_driver — CLI front-end for the trace-driven sharded engine.
+//
+// Streams a generated workload through a MarketEngine with observability
+// enabled and writes the merged exports:
+//
+//   engine_driver --shards 4 --threads 2 --requests 200
+//                 --metrics-out metrics.json --trace-out trace.json
+//
+// In the default logical-clock mode both exports are byte-identical for
+// any --threads value (the determinism contract CI checks by diffing the
+// files across thread counts); --wallclock switches the trace to steady-
+// clock timestamps for human profiling, sacrificing that property.
+//
+//   --shards N          shard count (default 4)
+//   --threads N         scheduler threads; 0 = hardware (default 1)
+//   --requests N        workload requests; offers default to N/2
+//   --offers N          workload offers
+//   --bids-per-epoch N  batch size per tick; 0 = everything at once
+//   --seed N            workload + location seed (default 7)
+//   --metrics-out PATH  merged metrics JSON ("-" = stdout)
+//   --prom-out PATH     merged metrics, Prometheus text format
+//   --trace-out PATH    Chrome trace_event JSON ("-" = stdout)
+//   --wallclock         stamp spans with a steady clock (non-deterministic)
+//
+// The engine report summary always goes to stdout (unless "-" routed an
+// export there), so existing report-diff tooling keeps working.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "engine/driver.hpp"
+#include "engine/engine.hpp"
+#include "engine/epoch_scheduler.hpp"
+#include "obs/clock.hpp"
+
+namespace {
+
+using namespace decloud;
+
+bool write_out(const char* path, const std::string& content) {
+  if (std::strcmp(path, "-") == 0) {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    std::fputc('\n', stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "engine_driver: cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t shards = 4;
+  std::size_t threads = 1;
+  std::size_t requests = 200;
+  std::size_t offers = 0;  // 0 = requests / 2
+  std::size_t bids_per_epoch = 0;
+  std::uint64_t seed = 7;
+  const char* metrics_out = nullptr;
+  const char* prom_out = nullptr;
+  const char* trace_out = nullptr;
+  bool wallclock = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "engine_driver: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--requests") == 0) {
+      requests = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--offers") == 0) {
+      offers = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--bids-per-epoch") == 0) {
+      bids_per_epoch = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = next();
+    } else if (std::strcmp(argv[i], "--prom-out") == 0) {
+      prom_out = next();
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out = next();
+    } else if (std::strcmp(argv[i], "--wallclock") == 0) {
+      wallclock = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--shards N] [--threads N] [--requests N] [--offers N]\n"
+                   "          [--bids-per-epoch N] [--seed N] [--metrics-out PATH]\n"
+                   "          [--prom-out PATH] [--trace-out PATH] [--wallclock]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (shards == 0) {
+    std::fprintf(stderr, "engine_driver: --shards must be >= 1\n");
+    return 2;
+  }
+
+  obs::SteadyClock steady;
+  engine::EngineConfig config;
+  config.router.num_shards = shards;
+  config.router.x0 = 0.0;
+  config.router.x1 = 100.0;
+  config.router.y0 = 0.0;
+  config.router.y1 = 100.0;
+  config.market.consensus.difficulty_bits = 8;  // simulation-scale PoW
+  config.market.num_verifiers = 1;
+  config.market.consensus.auction.threads = 1;  // parallelism across shards
+  config.observability = true;
+  config.clock = wallclock ? &steady : nullptr;
+
+  engine::TraceDriverConfig driver;
+  driver.workload.num_requests = requests;
+  driver.workload.num_offers = offers == 0 ? requests / 2 : offers;
+  driver.located_fraction = 0.9;
+  driver.bids_per_epoch = bids_per_epoch;
+  driver.seed = seed;
+
+  engine::MarketEngine market_engine(config);
+  engine::EpochScheduler scheduler(market_engine, threads);
+  const engine::DriveOutcome outcome = drive_trace(market_engine, scheduler, driver);
+
+  if (metrics_out != nullptr && !write_out(metrics_out, scheduler.metrics_json())) return 1;
+  if (prom_out != nullptr && !write_out(prom_out, scheduler.metrics_prometheus())) return 1;
+  if (trace_out != nullptr && !write_out(trace_out, scheduler.trace_json())) return 1;
+
+  const std::string summary = outcome.report.summary_json();
+  std::fwrite(summary.data(), 1, summary.size(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}

@@ -11,7 +11,13 @@ MarketEngine::MarketEngine(EngineConfig config)
     : config_(std::move(config)), router_(config_.router) {
   shards_.reserve(router_.num_shards());
   for (std::size_t s = 0; s < router_.num_shards(); ++s) {
-    shards_.push_back(std::make_unique<Shard>(config_));
+    auto shard = std::make_unique<Shard>(config_);
+    if (config_.observability) {
+      shard->sink =
+          std::make_unique<obs::MetricsSink>("shard" + std::to_string(s), config_.clock);
+      shard->market.set_sink(shard->sink.get());
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -52,8 +58,17 @@ std::size_t MarketEngine::queued_bids() const {
 void MarketEngine::run_shard_epoch(std::size_t shard_index, Time now) {
   DECLOUD_EXPECTS(shard_index < shards_.size());
   Shard& shard = *shards_[shard_index];
-  for (IngestItem& item : shard.queue.drain()) {
-    std::visit([&](const auto& bid) { shard.market.submit(bid); }, item.bid);
+  {
+    obs::SpanScope span(shard.sink.get(), "epoch_drain");
+    std::size_t drained = 0;
+    for (IngestItem& item : shard.queue.drain()) {
+      std::visit([&](const auto& bid) { shard.market.submit(bid); }, item.bid);
+      ++drained;
+    }
+    span.add_work(drained);
+    if (shard.sink != nullptr) {
+      shard.sink->metrics().counter("engine.bids_drained").add(drained);
+    }
   }
   if (shard.market.queued_bids() == 0) return;  // idle shard: no empty blocks
   (void)shard.market.run_round(now);
@@ -80,6 +95,52 @@ EngineReport MarketEngine::report() const {
   }
   if constexpr (decloud::audit::kEnabled) audit_report(report);
   return report;
+}
+
+obs::MetricsSink MarketEngine::engine_summary_sink() const {
+  obs::MetricsSink sink("engine");
+  obs::MetricsRegistry& m = sink.metrics();
+  m.counter("engine.bids_rejected_unroutable")
+      .add(rejected_unroutable_.load(std::memory_order_relaxed));
+  std::size_t backpressure = 0, spilled = 0, epochs = 0;
+  for (const auto& shard : shards_) {
+    backpressure += shard->rejected_backpressure.load(std::memory_order_relaxed);
+    spilled += shard->spilled.load(std::memory_order_relaxed);
+    epochs += shard->epochs_run;
+  }
+  m.counter("engine.bids_rejected_backpressure").add(backpressure);
+  m.counter("engine.bids_spilled").add(spilled);
+  m.counter("engine.shard_epochs").add(epochs);
+  m.gauge("engine.num_shards").set(static_cast<double>(shards_.size()));
+  router_.annotate(m);
+  return sink;
+}
+
+std::vector<const obs::MetricsSink*> MarketEngine::export_order(
+    const obs::MetricsSink* engine_sink, const obs::MetricsSink* scheduler_sink) const {
+  std::vector<const obs::MetricsSink*> sinks;
+  sinks.reserve(shards_.size() + 2);
+  sinks.push_back(engine_sink);
+  if (scheduler_sink != nullptr) sinks.push_back(scheduler_sink);
+  for (const auto& shard : shards_) {
+    if (shard->sink != nullptr) sinks.push_back(shard->sink.get());
+  }
+  return sinks;
+}
+
+std::string MarketEngine::metrics_json(const obs::MetricsSink* scheduler_sink) const {
+  const obs::MetricsSink engine_sink = engine_summary_sink();
+  return obs::merged_metrics_json(export_order(&engine_sink, scheduler_sink));
+}
+
+std::string MarketEngine::metrics_prometheus(const obs::MetricsSink* scheduler_sink) const {
+  const obs::MetricsSink engine_sink = engine_summary_sink();
+  return obs::merged_metrics_prometheus(export_order(&engine_sink, scheduler_sink));
+}
+
+std::string MarketEngine::trace_json(const obs::MetricsSink* scheduler_sink) const {
+  const obs::MetricsSink engine_sink = engine_summary_sink();
+  return obs::merged_chrome_trace(export_order(&engine_sink, scheduler_sink));
 }
 
 }  // namespace decloud::engine

@@ -29,6 +29,7 @@
 #include "engine/report.hpp"
 #include "engine/shard_router.hpp"
 #include "ledger/market.hpp"
+#include "obs/sink.hpp"
 
 namespace decloud::engine {
 
@@ -45,6 +46,15 @@ struct EngineConfig {
   /// should usually stay 1 so parallelism lives across shards, not inside
   /// them.
   ledger::MarketConfig market;
+  /// When true every shard owns a MetricsSink ("shard0", "shard1", …)
+  /// threaded through its market/protocol/auction; exports come out of
+  /// metrics_json()/trace_json().  Off by default: the hot path then pays
+  /// one pointer test per hook (DESIGN.md §3e).
+  bool observability = false;
+  /// Optional wall clock for span timestamps (not owned; may outlive no
+  /// engine call).  Null = logical-clock-only mode, whose trace export is
+  /// byte-deterministic across thread counts.
+  obs::Clock* clock = nullptr;
 };
 
 /// Producer-visible outcome of one submit().
@@ -97,6 +107,23 @@ class MarketEngine {
   /// this engine (the engine itself counts per-shard rounds only).
   [[nodiscard]] EngineReport report() const;
 
+  /// The shard's sink (null unless config.observability).  Read it only
+  /// between epochs: during a tick the shard's round thread owns it.
+  [[nodiscard]] const obs::MetricsSink* shard_sink(std::size_t shard) const {
+    return shards_[shard]->sink.get();
+  }
+
+  /// Merged observability exports.  Merge order is fixed — a synthetic
+  /// "engine" sink (ingest counters + router annotation), then
+  /// `scheduler_sink` when given, then every shard sink in shard order —
+  /// so the bytes do not depend on the scheduler's thread count
+  /// (logical-clock mode; a wall clock makes trace timestamps vary).
+  /// Call between epochs, never during a tick.
+  [[nodiscard]] std::string metrics_json(const obs::MetricsSink* scheduler_sink = nullptr) const;
+  [[nodiscard]] std::string metrics_prometheus(
+      const obs::MetricsSink* scheduler_sink = nullptr) const;
+  [[nodiscard]] std::string trace_json(const obs::MetricsSink* scheduler_sink = nullptr) const;
+
  private:
   struct IngestItem {
     std::variant<auction::Request, auction::Offer> bid;
@@ -108,6 +135,9 @@ class MarketEngine {
 
     BoundedQueue<IngestItem> queue;
     ledger::MarketOrchestrator market;
+    /// Written only by the shard's round thread (same discipline as
+    /// `market`); null unless EngineConfig::observability.
+    std::unique_ptr<obs::MetricsSink> sink;
     // Producer-side counters (atomic: submit runs on producer threads).
     std::atomic<std::size_t> rejected_backpressure{0};
     std::atomic<std::size_t> spilled{0};
@@ -117,6 +147,12 @@ class MarketEngine {
 
   template <typename Bid>
   EngineAdmission submit_bid(const Bid& bid);
+
+  /// Builds the synthetic "engine" sink (producer-side atomics + router
+  /// annotation) the exports prepend to the per-shard sinks.
+  [[nodiscard]] obs::MetricsSink engine_summary_sink() const;
+  [[nodiscard]] std::vector<const obs::MetricsSink*> export_order(
+      const obs::MetricsSink* engine_sink, const obs::MetricsSink* scheduler_sink) const;
 
   EngineConfig config_;
   ShardRouter router_;

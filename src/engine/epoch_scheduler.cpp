@@ -8,14 +8,22 @@ namespace decloud::engine {
 EpochScheduler::EpochScheduler(MarketEngine& engine, std::size_t threads) : engine_(engine) {
   const std::size_t workers = threads == 0 ? ThreadPool::default_workers() : threads;
   if (workers > 1 && engine_.num_shards() > 1) pool_.emplace(workers);
+  if (engine_.config().observability) {
+    sink_ = std::make_unique<obs::MetricsSink>("scheduler", engine_.config().clock);
+  }
 }
 
 void EpochScheduler::tick(Time now) {
   // One chunk per shard: the chunk layout (hence which bodies run) is
-  // fixed, and each body touches only its own shard's state.
+  // fixed, and each body touches only its own shard's state.  The "epoch"
+  // span lives on the scheduler's own sink, so the workers (which write
+  // the per-shard sinks) never race it.
+  obs::SpanScope span(sink_.get(), "epoch");
+  span.add_work(engine_.num_shards());
   run_chunked(pool_ ? &*pool_ : nullptr, 0, engine_.num_shards(),
               [&](std::size_t shard) { engine_.run_shard_epoch(shard, now); });
   ++epochs_;
+  if (sink_ != nullptr) sink_->metrics().counter("engine.epochs").add(1);
 }
 
 std::size_t EpochScheduler::run(std::size_t max_epochs, Time start_time,

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 
 #include "common/thread_pool.hpp"
@@ -42,10 +43,25 @@ class EpochScheduler {
   /// The engine's report with the scheduler's epoch count filled in.
   [[nodiscard]] EngineReport report() const;
 
+  /// Observability exports with the scheduler's own sink ("scheduler":
+  /// one "epoch" span per tick) merged in — null when the engine runs
+  /// without observability, in which case these equal the engine's own.
+  [[nodiscard]] const obs::MetricsSink* sink() const { return sink_.get(); }
+  [[nodiscard]] obs::MetricsSink* sink() { return sink_.get(); }
+  [[nodiscard]] std::string metrics_json() const {
+    return engine_.metrics_json(sink_.get());
+  }
+  [[nodiscard]] std::string metrics_prometheus() const {
+    return engine_.metrics_prometheus(sink_.get());
+  }
+  [[nodiscard]] std::string trace_json() const { return engine_.trace_json(sink_.get()); }
+
  private:
   MarketEngine& engine_;
   std::optional<ThreadPool> pool_;  // absent on the serial path
   std::size_t epochs_ = 0;
+  /// Touched only by the thread calling tick(); workers never see it.
+  std::unique_ptr<obs::MetricsSink> sink_;
 };
 
 }  // namespace decloud::engine

@@ -5,6 +5,7 @@
 
 #include "common/ensure.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace decloud::engine {
 
@@ -62,6 +63,13 @@ Route ShardRouter::route(const std::optional<auction::Location>& location,
       break;
   }
   return {RouteKind::kRejected, 0};
+}
+
+void ShardRouter::annotate(obs::MetricsRegistry& metrics) const {
+  metrics.gauge("router.num_shards").set(static_cast<double>(config_.num_shards));
+  metrics.gauge("router.grid_x").set(static_cast<double>(grid_x_));
+  metrics.gauge("router.grid_y").set(static_cast<double>(grid_y_));
+  metrics.gauge("router.regions").set(static_cast<double>(config_.regions.size()));
 }
 
 }  // namespace decloud::engine

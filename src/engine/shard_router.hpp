@@ -25,6 +25,10 @@
 
 #include "auction/bid.hpp"
 
+namespace decloud::obs {
+class MetricsRegistry;
+}
+
 namespace decloud::engine {
 
 /// What to do with a bid that carries no location.
@@ -91,6 +95,11 @@ class ShardRouter {
   [[nodiscard]] Route route(const auction::Offer& o) const {
     return route(o.location, o.id.value());
   }
+
+  /// Records the resolved routing topology as gauges (router.num_shards,
+  /// router.grid_x/grid_y, router.regions) — static facts a dashboard
+  /// needs next to the per-shard counters.
+  void annotate(obs::MetricsRegistry& metrics) const;
 
  private:
   [[nodiscard]] std::size_t grid_shard(const auction::Location& loc) const;

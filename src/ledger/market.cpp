@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/ensure.hpp"
+#include "obs/sink.hpp"
 
 namespace decloud::ledger {
 
@@ -45,10 +46,15 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
   const std::vector<Miner> verifiers(config_.num_verifiers, Miner(config_.consensus));
   RoundOutcome outcome = protocol_.run_round({&wallet_}, verifiers, now);
   ++stats_.rounds;
+  if (sink_ != nullptr) sink_->metrics().counter("market.rounds").add(1);
   if (!outcome.block_accepted) {
     // A rejected block consumes nobody's bids: re-queue everything as-is.
     for (auto& pr : in_flight_requests) pending_requests_.push_back(pr);
     for (auto& po : in_flight_offers) pending_offers_.push_back(po);
+    if (sink_ != nullptr) {
+      sink_->metrics().counter("market.resubmissions")
+          .add(in_flight_requests.size() + in_flight_offers.size());
+    }
     return outcome;
   }
 
@@ -88,9 +94,12 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
     if (matched[i]) matched_ids[outcome.snapshot.requests[i].id.value()] = 1;
   }
 
+  std::size_t resubmitted = 0;
+  std::size_t allocated_this_round = 0;
   for (auto& pr : in_flight_requests) {
     const auto id = pr.request.id.value();
     if (matched_ids.contains(id)) {
+      ++allocated_this_round;
       ++stats_.requests_allocated;
       const std::size_t attempt = request_attempt[id];
       if (stats_.allocation_latency.size() <= attempt) {
@@ -99,6 +108,7 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
       ++stats_.allocation_latency[attempt];
     } else if (++pr.attempts <= config_.max_resubmissions) {
       pending_requests_.push_back(pr);  // resubmit next round
+      ++resubmitted;
     } else {
       ++stats_.requests_abandoned;
     }
@@ -106,7 +116,16 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
   // Offers re-enter while their windows stay useful; the retry budget
   // bounds that too.
   for (auto& po : in_flight_offers) {
-    if (++po.attempts <= config_.max_resubmissions) pending_offers_.push_back(po);
+    if (++po.attempts <= config_.max_resubmissions) {
+      pending_offers_.push_back(po);
+      ++resubmitted;
+    }
+  }
+  if (sink_ != nullptr) {
+    obs::MetricsRegistry& m = sink_->metrics();
+    m.counter("market.resubmissions").add(resubmitted);
+    m.counter("market.requests_allocated").add(allocated_this_round);
+    m.histogram("market.round_welfare", 0.0, 64.0, 16).add(outcome.result.welfare);
   }
   return outcome;
 }

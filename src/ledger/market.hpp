@@ -93,6 +93,14 @@ class MarketOrchestrator {
   /// state / unknown id) or the agreement is not from the latest round.
   bool deny_agreement(ContractId id);
 
+  /// Attaches an observability sink (not owned, may be null); forwarded to
+  /// the protocol so every layer of a round reports into the same sink.
+  void set_sink(obs::MetricsSink* sink) {
+    sink_ = sink;
+    protocol_.set_sink(sink);
+  }
+  [[nodiscard]] obs::MetricsSink* sink() const { return sink_; }
+
   [[nodiscard]] const MarketStats& stats() const { return stats_; }
   [[nodiscard]] const LedgerProtocol& protocol() const { return protocol_; }
   [[nodiscard]] std::size_t queued_bids() const {
@@ -127,6 +135,7 @@ class MarketOrchestrator {
   std::deque<PendingOffer> pending_offers_;
   std::unordered_map<ContractId, MatchRecord> last_round_matches_;
   MarketStats stats_;
+  obs::MetricsSink* sink_ = nullptr;
 };
 
 }  // namespace decloud::ledger

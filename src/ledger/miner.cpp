@@ -4,12 +4,15 @@
 
 #include "common/ensure.hpp"
 #include "ledger/codec.hpp"
+#include "obs/sink.hpp"
 
 namespace decloud::ledger {
 
 std::optional<BlockPreamble> Miner::mine_preamble(std::vector<SealedBid> bids,
                                                   const crypto::Digest& prev_hash,
-                                                  std::uint64_t height, Time timestamp) const {
+                                                  std::uint64_t height, Time timestamp,
+                                                  obs::MetricsSink* sink) const {
+  obs::SpanScope span(sink, "pow");
   BlockPreamble preamble;
   preamble.header.height = height;
   preamble.header.prev_hash = prev_hash;
@@ -23,6 +26,8 @@ std::optional<BlockPreamble> Miner::mine_preamble(std::vector<SealedBid> bids,
                                           params_.max_pow_attempts);
   if (!solution) return std::nullopt;
   preamble.pow = *solution;
+  span.add_work(solution->nonce + 1);  // attempts, not the winning nonce
+  if (sink != nullptr) sink->metrics().counter("ledger.pow_attempts").add(solution->nonce + 1);
   return preamble;
 }
 
@@ -71,10 +76,17 @@ std::uint64_t Miner::allocation_seed(const BlockPreamble& preamble) {
 }
 
 BlockBody Miner::compute_body(const BlockPreamble& preamble,
-                              const std::vector<KeyReveal>& reveals) const {
+                              const std::vector<KeyReveal>& reveals,
+                              obs::MetricsSink* sink) const {
   const OpenedBlock opened = open_block(preamble, reveals);
+  if (sink != nullptr) {
+    sink->metrics().counter("ledger.bids_opened")
+        .add(opened.request_source.size() + opened.offer_source.size());
+    sink->metrics().counter("ledger.bids_unopened").add(opened.unopened.size());
+  }
   const auction::DeCloudAuction mechanism(params_.auction);
-  const auction::RoundResult result = mechanism.run(opened.snapshot, allocation_seed(preamble));
+  const auction::RoundResult result =
+      mechanism.run(opened.snapshot, allocation_seed(preamble), sink);
 
   BlockBody body;
   body.revealed_keys = reveals;

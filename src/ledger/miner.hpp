@@ -46,16 +46,19 @@ class Miner {
 
   /// Phase 1: assembles a preamble over the given sealed bids on top of the
   /// current tip and solves PoW.  Returns nullopt only if max_pow_attempts
-  /// is exhausted.
+  /// is exhausted.  A non-null `sink` records a "pow" span whose work
+  /// counter is the number of PoW attempts; the sink never affects mining.
   [[nodiscard]] std::optional<BlockPreamble> mine_preamble(std::vector<SealedBid> bids,
                                                            const crypto::Digest& prev_hash,
-                                                           std::uint64_t height,
-                                                           Time timestamp) const;
+                                                           std::uint64_t height, Time timestamp,
+                                                           obs::MetricsSink* sink = nullptr) const;
 
   /// Phase 2 (producer): decrypts the bids with the revealed keys and runs
-  /// the auction seeded by the block hash, producing the body.
+  /// the auction seeded by the block hash, producing the body.  `sink` is
+  /// forwarded to the mechanism (stage spans + round counters).
   [[nodiscard]] BlockBody compute_body(const BlockPreamble& preamble,
-                                       const std::vector<KeyReveal>& reveals) const;
+                                       const std::vector<KeyReveal>& reveals,
+                                       obs::MetricsSink* sink = nullptr) const;
 
   /// Phase 2 (verifier): re-derives the allocation from the preamble and
   /// revealed keys and accepts the body iff it matches byte-for-byte

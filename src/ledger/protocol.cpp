@@ -4,6 +4,7 @@
 
 #include "common/ensure.hpp"
 #include "ledger/codec.hpp"
+#include "obs/sink.hpp"
 
 namespace decloud::ledger {
 
@@ -18,30 +19,46 @@ RoundOutcome LedgerProtocol::run_round(std::vector<Participant*> participants,
                                        const std::vector<Miner>& verifiers, Time now) {
   RoundOutcome outcome;
 
-  // Phase 1: assemble + PoW over the sealed bids.
+  // Phase 1: assemble + PoW over the sealed bids.  The "pow" span is
+  // opened by mine_preamble itself (it knows the attempt count).
   auto bids = mempool_.drain();
-  auto preamble = producer_.mine_preamble(std::move(bids), chain_.tip_hash(), chain_.height(), now);
+  if (sink_ != nullptr) sink_->metrics().counter("ledger.bids_sealed").add(bids.size());
+  auto preamble =
+      producer_.mine_preamble(std::move(bids), chain_.tip_hash(), chain_.height(), now, sink_);
   DECLOUD_ENSURES_MSG(preamble.has_value(), "PoW search exhausted (raise max_pow_attempts)");
 
   // Participants validate the preamble and reveal keys for their bids.
   std::vector<KeyReveal> reveals;
-  if (validate_preamble(*preamble, params_.difficulty_bits)) {
-    for (Participant* p : participants) {
-      DECLOUD_EXPECTS(p != nullptr);
-      auto r = p->on_preamble(*preamble);
-      reveals.insert(reveals.end(), r.begin(), r.end());
+  {
+    obs::SpanScope span(sink_, "key_reveal");
+    if (validate_preamble(*preamble, params_.difficulty_bits)) {
+      for (Participant* p : participants) {
+        DECLOUD_EXPECTS(p != nullptr);
+        auto r = p->on_preamble(*preamble);
+        reveals.insert(reveals.end(), r.begin(), r.end());
+      }
     }
+    span.add_work(reveals.size());
+    if (sink_ != nullptr) sink_->metrics().counter("ledger.keys_revealed").add(reveals.size());
   }
 
   // Phase 2: allocation computation and block body.
-  BlockBody body = producer_.compute_body(*preamble, reveals);
+  BlockBody body;
+  {
+    obs::SpanScope span(sink_, "allocation");
+    body = producer_.compute_body(*preamble, reveals, sink_);
+  }
 
   // Collective verification: every verifier re-runs the auction.
   bool all_accept = true;
-  for (const Miner& v : verifiers) {
-    const bool ok = v.verify_body(*preamble, body);
-    outcome.verifier_votes.push_back(ok);
-    all_accept = all_accept && ok;
+  {
+    obs::SpanScope span(sink_, "verify");
+    span.add_work(verifiers.size());
+    for (const Miner& v : verifiers) {
+      const bool ok = v.verify_body(*preamble, body);
+      outcome.verifier_votes.push_back(ok);
+      all_accept = all_accept && ok;
+    }
   }
 
   const OpenedBlock opened = Miner::open_block(*preamble, body.revealed_keys);
@@ -50,13 +67,26 @@ RoundOutcome LedgerProtocol::run_round(std::vector<Participant*> participants,
                                      opened.snapshot.requests.size(),
                                      opened.snapshot.offers.size());
 
-  if (!all_accept) return outcome;  // block rejected; nothing recorded
+  if (!all_accept) {
+    if (sink_ != nullptr) sink_->metrics().counter("ledger.blocks_rejected").add(1);
+    return outcome;  // block rejected; nothing recorded
+  }
 
-  outcome.block = Block{.preamble = std::move(*preamble), .body = std::move(body)};
-  outcome.block_accepted = chain_.append(outcome.block, params_.difficulty_bits);
-  if (outcome.block_accepted) {
-    outcome.agreements =
-        contract_.register_allocation(chain_.height() - 1, outcome.snapshot, outcome.result);
+  {
+    obs::SpanScope span(sink_, "append");
+    outcome.block = Block{.preamble = std::move(*preamble), .body = std::move(body)};
+    outcome.block_accepted = chain_.append(outcome.block, params_.difficulty_bits);
+    if (outcome.block_accepted) {
+      outcome.agreements =
+          contract_.register_allocation(chain_.height() - 1, outcome.snapshot, outcome.result);
+    }
+    span.add_work(outcome.agreements.size());
+  }
+  if (sink_ != nullptr) {
+    sink_->metrics()
+        .counter(outcome.block_accepted ? "ledger.blocks_accepted" : "ledger.blocks_rejected")
+        .add(1);
+    sink_->metrics().counter("ledger.agreements").add(outcome.agreements.size());
   }
   return outcome;
 }

@@ -70,12 +70,19 @@ class LedgerProtocol {
   RoundOutcome run_round(std::vector<Participant*> participants,
                          const std::vector<Miner>& verifiers, Time now);
 
+  /// Attaches an observability sink (not owned, may be null).  Each round
+  /// then records phase spans (pow, key_reveal, allocation, verify,
+  /// append) and protocol counters; the outcome is unaffected.
+  void set_sink(obs::MetricsSink* sink) { sink_ = sink; }
+  [[nodiscard]] obs::MetricsSink* sink() const { return sink_; }
+
  private:
   ConsensusParams params_;
   Miner producer_;
   Mempool mempool_;
   Blockchain chain_;
   AgreementContract contract_;
+  obs::MetricsSink* sink_ = nullptr;
 };
 
 }  // namespace decloud::ledger

@@ -1,0 +1,16 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace decloud::obs {
+
+std::uint64_t SteadyClock::now_ns() {
+  // The one place in the tree allowed to read a host clock: every other
+  // module receives time as data (simulated `Time now`) or via an injected
+  // obs::Clock.  declint's `wallclock-outside-obs` rule pins this down.
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}
+
+}  // namespace decloud::obs

@@ -1,0 +1,55 @@
+// Injected time sources for the observability layer.
+//
+// The repo-wide determinism contract (DESIGN.md §3b) bans ambient clocks:
+// block evidence, not the host clock, drives the mechanism, and miners on
+// different machines must re-derive byte-identical results.  Telemetry
+// still wants real durations, so wall time enters through exactly one
+// door: an obs::Clock handed to a MetricsSink.  Production passes a
+// SteadyClock (the ONLY sanctioned std::chrono::steady_clock site in the
+// tree — enforced by declint's `wallclock-outside-obs` rule); tests pass a
+// FakeClock or no clock at all, in which case the tracer falls back to the
+// always-on deterministic logical clock (tracer.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace decloud::obs {
+
+/// Monotonic nanosecond source.  Implementations need not be thread-safe:
+/// a sink — and therefore its clock reads — is owned by one shard/driver
+/// and accessed by at most one thread at a time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Nanoseconds since an arbitrary fixed origin; never decreases.
+  [[nodiscard]] virtual std::uint64_t now_ns() = 0;
+};
+
+/// Wall time from std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() override;
+};
+
+/// Deterministic clock for tests: returns `start_ns` plus `auto_step_ns`
+/// per read, plus whatever advance() added — so span durations are exact,
+/// predictable values.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::uint64_t start_ns = 0, std::uint64_t auto_step_ns = 0)
+      : now_(start_ns), step_(auto_step_ns) {}
+
+  [[nodiscard]] std::uint64_t now_ns() override {
+    const std::uint64_t t = now_;
+    now_ += step_;
+    return t;
+  }
+
+  void advance(std::uint64_t delta_ns) { now_ += delta_ns; }
+
+ private:
+  std::uint64_t now_;
+  std::uint64_t step_;
+};
+
+}  // namespace decloud::obs

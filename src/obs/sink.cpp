@@ -1,0 +1,89 @@
+#include "obs/sink.hpp"
+
+#include <cstdio>
+
+namespace decloud::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string merged_metrics_json(const std::vector<const MetricsSink*>& sinks) {
+  MetricsRegistry merged;
+  for (const MetricsSink* sink : sinks) {
+    if (sink != nullptr) merged.merge_from(sink->metrics());
+  }
+  return merged.to_json();
+}
+
+std::string merged_metrics_prometheus(const std::vector<const MetricsSink*>& sinks) {
+  MetricsRegistry merged;
+  for (const MetricsSink* sink : sinks) {
+    if (sink != nullptr) merged.merge_from(sink->metrics());
+  }
+  return merged.to_prometheus();
+}
+
+std::string merged_chrome_trace(const std::vector<const MetricsSink*>& sinks) {
+  // Wall timestamps are steady-clock offsets from an arbitrary origin;
+  // rebase them on the earliest span so the trace starts near t=0.
+  std::uint64_t wall_origin = UINT64_MAX;
+  for (const MetricsSink* sink : sinks) {
+    if (sink == nullptr || !sink->tracer().has_clock()) continue;
+    for (const SpanRecord& span : sink->tracer().spans()) {
+      if (span.ts_ns < wall_origin) wall_origin = span.ts_ns;
+    }
+  }
+  if (wall_origin == UINT64_MAX) wall_origin = 0;
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  std::size_t pid = 0;
+  for (const MetricsSink* sink : sinks) {
+    if (sink == nullptr) continue;
+    ++pid;  // 1-based: chrome tooling hides pid 0 rows in some views
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%zu,\"tid\":0,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",", pid, sink->label().c_str());
+    first = false;
+    out += buf;
+    const bool wall = sink->tracer().has_clock();
+    for (const SpanRecord& span : sink->tracer().spans()) {
+      if (span.open()) continue;  // never exported half-finished
+      out += ",{\"name\":\"";
+      out += span.name;
+      std::snprintf(buf, sizeof buf, "\",\"ph\":\"X\",\"pid\":%zu,\"tid\":0,\"ts\":", pid);
+      out += buf;
+      if (wall) {
+        append_double(out, static_cast<double>(span.ts_ns - wall_origin) / 1000.0);
+        out += ",\"dur\":";
+        append_double(out, static_cast<double>(span.dur_ns) / 1000.0);
+      } else {
+        // Logical mode: the event sequence is the timeline.  Nested spans
+        // still render correctly because a parent's [seq_begin, seq_end]
+        // strictly contains its children's.
+        append_double(out, static_cast<double>(span.seq_begin));
+        out += ",\"dur\":";
+        append_double(out, static_cast<double>(span.seq_end - span.seq_begin));
+      }
+      std::snprintf(buf, sizeof buf,
+                    ",\"args\":{\"work\":%llu,\"seq\":%llu,\"depth\":%u}}",
+                    static_cast<unsigned long long>(span.work),
+                    static_cast<unsigned long long>(span.seq_begin),
+                    span.depth);
+      out += buf;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace decloud::obs

@@ -1,0 +1,33 @@
+#include "obs/tracer.hpp"
+
+#include "common/ensure.hpp"
+#include "obs/clock.hpp"
+
+namespace decloud::obs {
+
+std::size_t Tracer::begin_span(std::string_view name) {
+  SpanRecord span;
+  span.name = std::string(name);
+  span.depth = depth_++;
+  span.seq_begin = ++seq_;  // pre-increment: 0 is reserved for "still open"
+  if (clock_ != nullptr) span.ts_ns = clock_->now_ns();
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void Tracer::end_span(std::size_t index, std::uint64_t work) {
+  DECLOUD_EXPECTS(index < spans_.size());
+  SpanRecord& span = spans_[index];
+  DECLOUD_EXPECTS_MSG(span.open(), "span already ended");
+  DECLOUD_EXPECTS_MSG(depth_ == span.depth + 1,
+                      "spans must close LIFO (innermost open span first)");
+  depth_ = span.depth;
+  span.seq_end = ++seq_;
+  span.work += work;
+  if (clock_ != nullptr) {
+    const std::uint64_t now = clock_->now_ns();
+    span.dur_ns = now >= span.ts_ns ? now - span.ts_ns : 0;
+  }
+}
+
+}  // namespace decloud::obs

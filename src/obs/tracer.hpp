@@ -1,0 +1,64 @@
+// Nested stage spans with a deterministic logical clock.
+//
+// Every span records TWO timelines:
+//   * logical — an event sequence number (one tick per span begin/end)
+//     plus an optional work counter (items processed).  Always on, costs
+//     two integer stores, and is a pure function of the owner's
+//     deterministic execution — so logical-mode exports are byte-identical
+//     across scheduler thread counts (the property tests/obs pins down);
+//   * wall — nanoseconds from the injected obs::Clock, when one is
+//     attached.  Absent a clock the wall fields stay zero and the export
+//     falls back to logical timestamps.
+//
+// A tracer is single-owner like the registry (metrics.hpp): one shard or
+// driver writes it, and cross-shard views are produced by exporting many
+// tracers in fixed order (sink.hpp).  Spans nest by strict LIFO — end the
+// innermost open span first — which SpanScope (sink.hpp) guarantees by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decloud::obs {
+
+class Clock;
+
+struct SpanRecord {
+  std::string name;
+  std::uint32_t depth = 0;      ///< nesting depth at begin (0 = top level)
+  std::uint64_t seq_begin = 0;  ///< logical clock at begin
+  std::uint64_t seq_end = 0;    ///< logical clock at end
+  std::uint64_t work = 0;       ///< deterministic work counter (items)
+  std::uint64_t ts_ns = 0;      ///< wall begin (0 without a clock)
+  std::uint64_t dur_ns = 0;     ///< wall duration (0 without a clock)
+
+  [[nodiscard]] bool open() const { return seq_end == 0; }
+};
+
+class Tracer {
+ public:
+  /// `clock` may be null: logical-only mode.  The tracer does not own it.
+  explicit Tracer(Clock* clock = nullptr) : clock_(clock) {}
+
+  /// Opens a span; returns its index for end_span.  Spans close LIFO.
+  std::size_t begin_span(std::string_view name);
+
+  /// Closes the span; `work` is added to its work counter.
+  void end_span(std::size_t index, std::uint64_t work = 0);
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+  [[nodiscard]] std::uint64_t events() const { return seq_; }
+  [[nodiscard]] bool has_clock() const { return clock_ != nullptr; }
+  [[nodiscard]] std::uint32_t open_depth() const { return depth_; }
+
+ private:
+  Clock* clock_;
+  std::uint64_t seq_ = 0;
+  std::uint32_t depth_ = 0;
+  std::vector<SpanRecord> spans_;
+};
+
+}  // namespace decloud::obs

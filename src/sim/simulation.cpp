@@ -2,6 +2,7 @@
 
 #include "common/ensure.hpp"
 #include "ledger/codec.hpp"
+#include "obs/sink.hpp"
 
 namespace decloud::sim {
 
@@ -33,6 +34,7 @@ Simulation::Simulation(SimulationConfig config)
 
 RoundStats Simulation::run_round(std::size_t producer_index, SimTime collect_ms) {
   DECLOUD_EXPECTS(producer_index < miners_.size());
+  obs::SpanScope span(config_.sink, "sim.round");
   RoundStats stats;
   const std::size_t messages_before = network_.messages_sent();
   const SimTime start = queue_.now();
@@ -66,6 +68,20 @@ RoundStats Simulation::run_round(std::size_t producer_index, SimTime collect_ms)
     stats.result = ledger::decode_allocation(
         {block.body.allocation.data(), block.body.allocation.size()},
         opened.snapshot.requests.size(), opened.snapshot.offers.size());
+  }
+  span.add_work(stats.messages);
+  if (config_.sink != nullptr) {
+    obs::MetricsRegistry& m = config_.sink->metrics();
+    m.counter("sim.rounds").add(1);
+    m.counter(stats.accepted ? "sim.rounds_accepted" : "sim.rounds_rejected").add(1);
+    m.counter("sim.messages").add(stats.messages);
+    m.counter("sim.accept_votes").add(stats.accept_votes);
+    m.counter("sim.reject_votes").add(stats.reject_votes);
+    m.counter("sim.matches").add(stats.result.matches.size());
+    m.gauge("sim.welfare").add(stats.result.welfare);
+    // Simulated protocol latency, not wall time: round_ms comes off the
+    // deterministic event queue.
+    m.histogram("sim.round_ms", 0.0, 8000.0, 16).add(static_cast<double>(stats.round_ms));
   }
   return stats;
 }

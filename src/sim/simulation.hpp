@@ -12,6 +12,10 @@
 #include "auction/allocation.hpp"
 #include "sim/node.hpp"
 
+namespace decloud::obs {
+class MetricsSink;
+}
+
 namespace decloud::sim {
 
 /// Configuration of a simulated DeCloud deployment.
@@ -22,6 +26,11 @@ struct SimulationConfig {
   MinerNode::Timing timing;
   ledger::ConsensusParams consensus;
   std::uint64_t seed = 1;
+  /// Optional observability sink (not owned, may be null).  The simulation
+  /// is single-threaded, so one sink serves the whole deployment: each
+  /// round records a "sim.round" span plus consensus/economics counters
+  /// and a simulated-latency histogram.
+  obs::MetricsSink* sink = nullptr;
 };
 
 /// Statistics of one protocol round.

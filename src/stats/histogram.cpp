@@ -22,6 +22,17 @@ void Histogram::add(double sample, double weight) {
   DECLOUD_EXPECTS(weight >= 0.0);
   counts_[bin_of(sample)] += weight;
   total_ += weight;
+  sum_ += sample * weight;
+}
+
+void Histogram::merge(const Histogram& other) {
+  DECLOUD_EXPECTS_MSG(lo_ == other.lo_ && hi_ == other.hi_,
+                      "histogram merge requires identical bucket bounds");
+  DECLOUD_EXPECTS_MSG(counts_.size() == other.counts_.size(),
+                      "histogram merge requires identical bin counts");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
 }
 
 void Histogram::add_all(std::span<const double> samples) {

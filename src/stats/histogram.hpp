@@ -20,10 +20,23 @@ class Histogram {
   void add(double sample, double weight = 1.0);
   void add_all(std::span<const double> samples);
 
+  /// Accumulates another histogram into this one, bin by bin.  Both
+  /// histograms must describe the SAME bucket layout — identical [lo, hi)
+  /// and bin count — or the per-bin counts would silently land in buckets
+  /// with different meanings; a mismatch throws precondition_error instead.
+  /// This is the merge the obs metrics registry uses to fold per-shard
+  /// histograms in fixed shard order.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::size_t bin_of(double sample) const;
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] double count(std::size_t bin) const { return counts_[bin]; }
   [[nodiscard]] double total() const { return total_; }
+  /// Σ sample·weight over everything added (before clamping); merged
+  /// histograms accumulate it in merge order.
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
 
   /// Normalizes to a probability distribution.  An empty histogram yields a
   /// uniform distribution (the least-informative choice).
@@ -34,6 +47,7 @@ class Histogram {
   double hi_;
   std::vector<double> counts_;
   double total_ = 0.0;
+  double sum_ = 0.0;
 };
 
 /// Normalizes arbitrary non-negative weights into a distribution summing to

@@ -1,0 +1,137 @@
+// MetricsRegistry: create-on-first-use handles, deterministic merge
+// semantics, and the byte-compared export formats (DESIGN.md §3e).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/ensure.hpp"
+
+namespace decloud::obs {
+namespace {
+
+TEST(Metrics, CounterCreatesOnFirstUseAndAccumulates) {
+  MetricsRegistry reg;
+  reg.counter("auction.rounds").add();
+  reg.counter("auction.rounds").add(4);
+  EXPECT_EQ(reg.counter("auction.rounds").value(), 5u);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(Metrics, CounterHandleStaysValidAcrossLaterRegistrations) {
+  // Hot paths resolve a name once; std::map node stability must keep the
+  // reference alive while other metrics are created around it.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("m.first");
+  for (int i = 0; i < 64; ++i) reg.counter("m.other" + std::to_string(i)).add();
+  c.add(7);
+  EXPECT_EQ(reg.counter("m.first").value(), 7u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  reg.gauge("welfare").set(2.5);
+  reg.gauge("welfare").add(0.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("welfare").value(), 3.0);
+}
+
+TEST(Metrics, HistogramFirstUseFixesLayout) {
+  MetricsRegistry reg;
+  reg.histogram("price", 0.0, 4.0, 8).add(1.0);
+  // Same layout: same handle.
+  EXPECT_EQ(reg.histogram("price", 0.0, 4.0, 8).total(), 1.0);
+  // Different layout: refuse rather than mix bucket meanings.
+  EXPECT_THROW(reg.histogram("price", 0.0, 8.0, 8), precondition_error);
+  EXPECT_THROW(reg.histogram("price", 0.0, 4.0, 4), precondition_error);
+}
+
+TEST(Metrics, MergeSumsCountersAndGaugesAndFoldsHistograms) {
+  MetricsRegistry a;
+  a.counter("n").add(3);
+  a.gauge("w").set(1.5);
+  a.histogram("h", 0.0, 1.0, 2).add(0.25);
+
+  MetricsRegistry b;
+  b.counter("n").add(4);
+  b.counter("only_b").add(1);
+  b.gauge("w").set(2.5);
+  b.histogram("h", 0.0, 1.0, 2).add(0.75);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("n").value(), 7u);
+  EXPECT_EQ(a.counter("only_b").value(), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("w").value(), 4.0);
+  EXPECT_EQ(a.histogram("h", 0.0, 1.0, 2).count(0), 1.0);
+  EXPECT_EQ(a.histogram("h", 0.0, 1.0, 2).count(1), 1.0);
+}
+
+TEST(Metrics, MergeRejectsMismatchedHistogramLayout) {
+  MetricsRegistry a;
+  a.histogram("h", 0.0, 1.0, 2).add(0.25);
+  MetricsRegistry b;
+  b.histogram("h", 0.0, 2.0, 2).add(0.25);
+  EXPECT_THROW(a.merge_from(b), precondition_error);
+}
+
+TEST(Metrics, JsonExportIsSortedAndStable) {
+  // Insertion order must not leak into the export: the registry walks
+  // names in sorted order, so two registries with the same contents
+  // serialize byte-identically regardless of how they were built.
+  MetricsRegistry a;
+  a.counter("zebra").add(1);
+  a.counter("alpha").add(2);
+  a.gauge("g").set(0.5);
+
+  MetricsRegistry b;
+  b.gauge("g").set(0.5);
+  b.counter("alpha").add(2);
+  b.counter("zebra").add(1);
+
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_json(),
+            "{\"counters\":{\"alpha\":2,\"zebra\":1},\"gauges\":{\"g\":0.5},"
+            "\"histograms\":{}}");
+}
+
+TEST(Metrics, JsonExportIncludesHistogramBuckets) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", 0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"lat\":{\"lo\":0,\"hi\":2,\"total\":3,\"sum\":3.5,"
+                      "\"buckets\":[1,2]}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(Metrics, PrometheusExportMapsDotsAndEmitsCumulativeBuckets) {
+  MetricsRegistry reg;
+  reg.counter("auction.rounds").add(2);
+  auto& h = reg.histogram("auction.price", 0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE auction_rounds counter\nauction_rounds 2\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("auction_price_bucket{le=\"1\"} 1\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("auction_price_bucket{le=\"2\"} 2\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("auction_price_bucket{le=\"+Inf\"} 2\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("auction_price_sum 2\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("auction_price_count 2\n"), std::string::npos) << prom;
+  // The raw dotted names must not survive into Prometheus output.
+  EXPECT_EQ(prom.find("auction.rounds"), std::string::npos);
+}
+
+TEST(Metrics, EmptyRegistryExports) {
+  const MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.to_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  EXPECT_EQ(reg.to_prometheus(), "");
+}
+
+}  // namespace
+}  // namespace decloud::obs

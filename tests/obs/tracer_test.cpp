@@ -1,0 +1,143 @@
+// Tracer + SpanScope: the deterministic logical clock, LIFO nesting
+// discipline, injected wall clocks, and the null-sink no-op contract.
+#include "obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+#include "obs/clock.hpp"
+#include "obs/sink.hpp"
+
+namespace decloud::obs {
+namespace {
+
+TEST(Tracer, LogicalClockTicksPerBeginAndEnd) {
+  Tracer t;
+  const std::size_t outer = t.begin_span("outer");
+  const std::size_t inner = t.begin_span("inner");
+  t.end_span(inner, /*work=*/5);
+  t.end_span(outer);
+
+  ASSERT_EQ(t.spans().size(), 2u);
+  const SpanRecord& o = t.spans()[outer];
+  const SpanRecord& i = t.spans()[inner];
+  EXPECT_EQ(o.name, "outer");
+  EXPECT_EQ(o.depth, 0u);
+  EXPECT_EQ(o.seq_begin, 1u);
+  EXPECT_EQ(i.depth, 1u);
+  EXPECT_EQ(i.seq_begin, 2u);
+  EXPECT_EQ(i.seq_end, 3u);
+  EXPECT_EQ(o.seq_end, 4u);
+  EXPECT_EQ(i.work, 5u);
+  EXPECT_EQ(t.events(), 4u);
+  EXPECT_FALSE(o.open());
+  EXPECT_FALSE(i.open());
+}
+
+TEST(Tracer, LogicalModeLeavesWallFieldsZero) {
+  Tracer t;
+  EXPECT_FALSE(t.has_clock());
+  const std::size_t s = t.begin_span("s");
+  t.end_span(s);
+  EXPECT_EQ(t.spans()[s].ts_ns, 0u);
+  EXPECT_EQ(t.spans()[s].dur_ns, 0u);
+}
+
+TEST(Tracer, FakeClockGivesExactTimestampsAndDurations) {
+  FakeClock clock(/*start_ns=*/1000, /*auto_step_ns=*/0);
+  Tracer t(&clock);
+  EXPECT_TRUE(t.has_clock());
+  const std::size_t s = t.begin_span("s");  // reads ts = 1000
+  clock.advance(250);
+  t.end_span(s);  // reads 1250
+  EXPECT_EQ(t.spans()[s].ts_ns, 1000u);
+  EXPECT_EQ(t.spans()[s].dur_ns, 250u);
+}
+
+TEST(Tracer, NonLifoCloseIsRejected) {
+  Tracer t;
+  const std::size_t outer = t.begin_span("outer");
+  const std::size_t inner = t.begin_span("inner");
+  // Closing the outer span while the inner is still open would corrupt the
+  // nesting structure the trace export relies on.
+  EXPECT_THROW(t.end_span(outer), precondition_error);
+  t.end_span(inner);
+  t.end_span(outer);
+  EXPECT_EQ(t.open_depth(), 0u);
+}
+
+TEST(Tracer, DoubleCloseIsRejected) {
+  Tracer t;
+  const std::size_t s = t.begin_span("s");
+  t.end_span(s);
+  EXPECT_THROW(t.end_span(s), precondition_error);
+  EXPECT_THROW(t.end_span(99), precondition_error);  // out of range
+}
+
+TEST(SpanScope, NullSinkIsANoOp) {
+  // The hook form instrumented code uses: with sink == nullptr every
+  // member must collapse to nothing (the zero-cost contract).
+  SpanScope span(nullptr, "stage");
+  span.add_work(1000);  // must not crash or allocate a tracer
+}
+
+TEST(SpanScope, RecordsWorkAndClosesOnScopeExit) {
+  MetricsSink sink("test");
+  {
+    SpanScope span(&sink, "stage");
+    span.add_work(3);
+    span.add_work(4);
+    EXPECT_EQ(sink.tracer().open_depth(), 1u);
+  }
+  EXPECT_EQ(sink.tracer().open_depth(), 0u);
+  ASSERT_EQ(sink.tracer().spans().size(), 1u);
+  EXPECT_EQ(sink.tracer().spans()[0].name, "stage");
+  EXPECT_EQ(sink.tracer().spans()[0].work, 7u);
+}
+
+TEST(SpanScope, NestsAcrossScopes) {
+  MetricsSink sink("test");
+  {
+    SpanScope outer(&sink, "outer");
+    { SpanScope inner(&sink, "inner"); }
+    { SpanScope inner2(&sink, "inner2"); }
+  }
+  ASSERT_EQ(sink.tracer().spans().size(), 3u);
+  EXPECT_EQ(sink.tracer().spans()[0].depth, 0u);
+  EXPECT_EQ(sink.tracer().spans()[1].depth, 1u);
+  EXPECT_EQ(sink.tracer().spans()[2].depth, 1u);
+}
+
+TEST(MergedExports, ChromeTraceIsDeterministicInLogicalMode) {
+  // Two sinks built identically (different construction interleavings are
+  // impossible here since each sink is single-owner) must export the same
+  // bytes, and the export must carry the pid/process_name structure.
+  auto build = [] {
+    MetricsSink a("alpha");
+    {
+      SpanScope s(&a, "work");
+      s.add_work(2);
+    }
+    return merged_chrome_trace({&a});
+  };
+  const std::string first = build();
+  EXPECT_EQ(first, build());
+  EXPECT_NE(first.find("\"traceEvents\""), std::string::npos) << first;
+  EXPECT_NE(first.find("\"ph\":\"X\""), std::string::npos) << first;
+  EXPECT_NE(first.find("alpha"), std::string::npos) << first;
+}
+
+TEST(MergedExports, MetricsMergeInFixedOrder) {
+  MetricsSink a("a");
+  MetricsSink b("b");
+  a.metrics().counter("n").add(1);
+  b.metrics().counter("n").add(2);
+  const std::string merged = merged_metrics_json({&a, &b});
+  EXPECT_NE(merged.find("\"n\":3"), std::string::npos) << merged;
+  // Merging is commutative for sums, so order changes nothing here — but
+  // the exported bytes must match exactly either way.
+  EXPECT_EQ(merged, merged_metrics_json({&b, &a}));
+}
+
+}  // namespace
+}  // namespace decloud::obs

@@ -66,6 +66,40 @@ TEST(Histogram, AddAllMatchesLoop) {
   for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a.count(i), b.count(i));
 }
 
+TEST(Histogram, MergeAccumulatesBinWise) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  a.add(0.1);
+  a.add(0.6, 2.0);
+  b.add(0.6);
+  b.add(0.9);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 1.0);
+  EXPECT_EQ(a.count(2), 3.0);
+  EXPECT_EQ(a.count(3), 1.0);
+  EXPECT_EQ(a.total(), 5.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.1 + 1.2 + 0.6 + 0.9);
+}
+
+TEST(Histogram, MergeRejectsMismatchedLayout) {
+  // Merging histograms with different bucket layouts would silently land
+  // counts in bins with different meanings — the obs registry relies on
+  // this throwing instead (regression for the cross-shard metrics merge).
+  Histogram a(0.0, 1.0, 4);
+  EXPECT_THROW(a.merge(Histogram(0.5, 1.0, 4)), precondition_error);  // lo differs
+  EXPECT_THROW(a.merge(Histogram(0.0, 2.0, 4)), precondition_error);  // hi differs
+  EXPECT_THROW(a.merge(Histogram(0.0, 1.0, 8)), precondition_error);  // bins differ
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a(0.0, 1.0, 2);
+  a.add(0.25, 3.0);
+  a.merge(Histogram(0.0, 1.0, 2));
+  EXPECT_EQ(a.count(0), 3.0);
+  EXPECT_EQ(a.total(), 3.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.75);
+}
+
 TEST(Normalize, SumsToOne) {
   const std::vector<double> w = {1.0, 2.0, 7.0};
   const auto d = normalize(w);

@@ -53,6 +53,12 @@ constexpr Rule kRules[] = {
      "wall-clock reads (time(), std::chrono::system_clock, ...) are forbidden outside bench "
      "timing: block evidence, not the host clock, drives the mechanism",
      "thread simulated `Time now` through the call chain, or move the timing into bench/"},
+    {"wallclock-outside-obs",
+     "std::chrono::steady_clock outside src/obs/: obs::SteadyClock (src/obs/clock.hpp) is the "
+     "single sanctioned wall-clock read, injected as obs::Clock so tests can fake time — this "
+     "covers bench/ too; no blanket exemptions",
+     "take an obs::Clock* (SteadyClock in production, FakeClock in tests) instead of reading "
+     "std::chrono::steady_clock directly"},
     {"ambient-rng",
      "ambient randomness (rand, srand, std::random_device, ...) is forbidden outside "
      "common/rng: miners must re-derive identical streams from block evidence",
@@ -214,7 +220,11 @@ FileScan lex_file(const fs::path& file, const std::string& rel_path) {
     if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
       std::size_t d = i + 2;
       while (d < n && src[d] != '(') ++d;
-      const std::string close = ")" + src.substr(i + 2, d - (i + 2)) + "\"";
+      // Built by append (not operator+) to sidestep a GCC 12 -Wrestrict
+      // false positive on the temporary-chaining form.
+      std::string close = ")";
+      close.append(src, i + 2, d - (i + 2));
+      close += '"';
       std::size_t end = src.find(close, d);
       end = end == std::string::npos ? n : end + close.size();
       for (std::size_t j = i; j < end; ++j) advance_newline(src[j]);
@@ -336,6 +346,7 @@ class Linter {
  public:
   void scan(const FileScan& f) {
     check_wallclock(f);
+    check_wallclock_outside_obs(f);
     check_ambient_rng(f);
     check_unordered_iteration(f);
     check_float_reduce(f);
@@ -388,9 +399,11 @@ class Linter {
 
   void check_wallclock(const FileScan& f) {
     if (path_contains(f.path, "bench/")) return;  // bench timing is the allowlist
+    // steady_clock is NOT here: it has its own stricter rule
+    // (wallclock-outside-obs) with no bench exemption.
     static const std::set<std::string> kClocks = {
-        "system_clock",  "steady_clock", "high_resolution_clock", "gettimeofday",
-        "clock_gettime", "localtime",    "gmtime",                "mktime"};
+        "system_clock", "high_resolution_clock", "gettimeofday",
+        "clock_gettime", "localtime", "gmtime", "mktime"};
     const auto& t = f.tokens;
     for (std::size_t i = 0; i < t.size(); ++i) {
       if (t[i].kind != Token::Kind::kIdent) continue;
@@ -405,6 +418,18 @@ class Linter {
             i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->" ||
                       t[i - 1].kind == Token::Kind::kIdent);
         if (!member_or_decl) report(f, t[i].line, "wallclock", "call to time()");
+      }
+    }
+  }
+
+  void check_wallclock_outside_obs(const FileScan& f) {
+    // Unlike check_wallclock there is no bench/ exemption: bench timing
+    // goes through obs::SteadyClock too, so the allowlist is one directory.
+    if (path_contains(f.path, "src/obs/")) return;
+    for (const Token& tok : f.tokens) {
+      if (tok.kind == Token::Kind::kIdent && tok.text == "steady_clock") {
+        report(f, tok.line, "wallclock-outside-obs",
+               "steady_clock read outside src/obs/ (use an injected obs::Clock)");
       }
     }
   }

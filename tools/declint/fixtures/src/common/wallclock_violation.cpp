@@ -14,6 +14,13 @@ long bad_timestamp() {
          time(nullptr);
 }
 
+long bad_steady_timestamp() {
+  // wallclock-outside-obs: even the monotonic clock is off-limits outside
+  // src/obs/ — timing flows through an injected obs::Clock.
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now.time_since_epoch()).count();
+}
+
 int bad_random() {
   // ambient-rng: non-reproducible across miners.
   std::random_device rd;

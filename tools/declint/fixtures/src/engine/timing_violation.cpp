@@ -1,0 +1,16 @@
+// FAIL fixture for the wallclock-outside-obs rule, and ONLY that rule:
+// the declint.wallclock_outside_obs ctest scans exactly this directory
+// (WILL_FAIL), so the finding below must come from the steady_clock read
+// — keep this file clean of every other rule's triggers.
+#include <chrono>
+
+namespace decloud::engine {
+
+double epoch_wall_ms() {
+  // wallclock-outside-obs: engine code must take an obs::Clock* instead.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace decloud::engine

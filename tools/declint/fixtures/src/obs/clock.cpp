@@ -1,0 +1,17 @@
+// PASS fixture for the wallclock-outside-obs rule: steady_clock reads are
+// legal here because the path contains src/obs/ — this models the real
+// src/obs/clock.cpp, the one sanctioned wall-clock site.  The
+// declint.obs_allow ctest scans exactly this directory and must exit 0;
+// if a rule ever fires on this file, the allowlist broke.
+#include <chrono>
+#include <cstdint>
+
+namespace decloud::obs {
+
+std::uint64_t sanctioned_now_ns() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}
+
+}  // namespace decloud::obs
