@@ -15,7 +15,11 @@
 //   * mechanism_null_sink / mechanism_live_sink — full_mechanism with the
 //     observability hooks off (null MetricsSink*, the default) vs. on, so
 //     bench/trajectory/ tracks the instrumentation overhead against the
-//     ≤2% live-sink budget of DESIGN.md §3e.
+//     ≤2% live-sink budget of DESIGN.md §3e;
+//   * engine_no_injector / engine_null_injector — a 1-shard engine drive
+//     with no FaultInjector vs. an active plan whose rules never fire
+//     (p=0), pinning the fault-hook overhead (DESIGN.md §3f, same ≤2%
+//     budget).
 //
 // Usage: perf_smoke [--rounds N] [--threads a,b,c] [--shards a,b,c]
 //   --rounds   timing repetitions per entry; the MINIMUM is reported
@@ -38,6 +42,7 @@
 #include "engine/driver.hpp"
 #include "engine/engine.hpp"
 #include "engine/epoch_scheduler.hpp"
+#include "fault/fault.hpp"
 #include "obs/clock.hpp"
 #include "obs/sink.hpp"
 #include "trace/workload.hpp"
@@ -206,6 +211,47 @@ int main(int argc, char** argv) {
       (void)matches;
     });
     entries.push_back({"mechanism_live_sink", s.requests.size(), s.offers.size(), 1, live_ms});
+  }
+
+  // --- fault-hook overhead: the same 1-shard engine drive with no
+  // injector (hooks pay one pointer test) vs. a "null" fault plan whose
+  // rules never fire (p=0 — every hook pays the window match plus the
+  // seeded coin).  Compare the pair in bench/trajectory/: the null plan
+  // must stay within ~2% of no-injector, as chaos replays are meant to be
+  // cheap enough to leave on in soak runs.
+  {
+    engine::TraceDriverConfig driver;
+    driver.workload.num_requests = 512;
+    driver.workload.num_offers = 256;
+    driver.located_fraction = 0.9;
+    driver.bids_per_epoch = 192;
+    driver.seed = 8;
+
+    const auto drive_ms = [&](const char* plan) {
+      engine::EngineConfig config;
+      config.router.num_shards = 1;
+      config.router.x1 = 100.0;
+      config.router.y1 = 100.0;
+      config.queue_capacity = SIZE_MAX / 2;
+      config.queue_watermark = SIZE_MAX / 2;
+      config.market.consensus.difficulty_bits = 8;
+      config.market.num_verifiers = 1;
+      config.market.consensus.auction.threads = 1;
+      if (plan != nullptr) config.fault_plan = fault::FaultPlan::parse(plan);
+      return time_min_ms(rounds, [&] {
+        engine::MarketEngine market_engine(config);
+        engine::EpochScheduler scheduler(market_engine, 1);
+        volatile auto sink = drive_trace(market_engine, scheduler, driver).bids_generated;
+        (void)sink;
+      });
+    };
+
+    entries.push_back({"engine_no_injector", driver.workload.num_requests,
+                       driver.workload.num_offers, 1, drive_ms(nullptr)});
+    entries.push_back({"engine_null_injector", driver.workload.num_requests,
+                       driver.workload.num_offers, 1,
+                       drive_ms("withhold_reveal:p=0;dishonest_vote:p=0;deny_agreement:p=0;"
+                                "reject_ingest:p=0;corrupt_sealed_bid:p=0")});
   }
 
   // --- sharded engine end to end (cross-shard axis).

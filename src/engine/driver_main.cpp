@@ -21,6 +21,15 @@
 //   --prom-out PATH     merged metrics, Prometheus text format
 //   --trace-out PATH    Chrome trace_event JSON ("-" = stdout)
 //   --wallclock         stamp spans with a steady clock (non-deterministic)
+//   --fault-plan SPEC   deterministic fault schedule (src/fault grammar,
+//                       e.g. "withhold_reveal:p=0.3;dishonest_vote:p=0.2")
+//   --fault-seed N      seed of the fault coin flips (default 1)
+//   --retry-attempts N  ingest retry budget for refused submissions
+//                       (default 0 = rejections are final)
+//
+// A fault plan does not break determinism: the same plan + seed yields
+// byte-identical exports at any --threads value (the CI chaos job diffs
+// them).
 //
 // The engine report summary always goes to stdout (unless "-" routed an
 // export there), so existing report-diff tooling keeps working.
@@ -32,6 +41,7 @@
 #include "engine/driver.hpp"
 #include "engine/engine.hpp"
 #include "engine/epoch_scheduler.hpp"
+#include "fault/fault.hpp"
 #include "obs/clock.hpp"
 
 namespace {
@@ -68,6 +78,9 @@ int main(int argc, char** argv) {
   const char* prom_out = nullptr;
   const char* trace_out = nullptr;
   bool wallclock = false;
+  const char* fault_plan = nullptr;
+  std::uint64_t fault_seed = 1;
+  std::size_t retry_attempts = 0;
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -97,11 +110,18 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (std::strcmp(argv[i], "--wallclock") == 0) {
       wallclock = true;
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0) {
+      fault_plan = next();
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+      fault_seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--retry-attempts") == 0) {
+      retry_attempts = std::strtoul(next(), nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--shards N] [--threads N] [--requests N] [--offers N]\n"
                    "          [--bids-per-epoch N] [--seed N] [--metrics-out PATH]\n"
-                   "          [--prom-out PATH] [--trace-out PATH] [--wallclock]\n",
+                   "          [--prom-out PATH] [--trace-out PATH] [--wallclock]\n"
+                   "          [--fault-plan SPEC] [--fault-seed N] [--retry-attempts N]\n",
                    argv[0]);
       return 2;
     }
@@ -121,8 +141,21 @@ int main(int argc, char** argv) {
   config.market.consensus.difficulty_bits = 8;  // simulation-scale PoW
   config.market.num_verifiers = 1;
   config.market.consensus.auction.threads = 1;  // parallelism across shards
+  // Byzantine tolerance is on for the driver: a dishonest-vote fault
+  // costs one re-mine, not the whole round's bids.
+  config.market.consensus.max_remine_attempts = 1;
   config.observability = true;
   config.clock = wallclock ? &steady : nullptr;
+  config.retry.max_attempts = retry_attempts;
+  config.fault_seed = fault_seed;
+  if (fault_plan != nullptr) {
+    try {
+      config.fault_plan = fault::FaultPlan::parse(fault_plan);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "engine_driver: bad --fault-plan: %s\n", e.what());
+      return 2;
+    }
+  }
 
   engine::TraceDriverConfig driver;
   driver.workload.num_requests = requests;

@@ -9,6 +9,10 @@ namespace decloud::engine {
 
 MarketEngine::MarketEngine(EngineConfig config)
     : config_(std::move(config)), router_(config_.router) {
+  if (!config_.fault_plan.empty()) {
+    injector_ =
+        std::make_unique<const fault::FaultInjector>(config_.fault_plan, config_.fault_seed);
+  }
   shards_.reserve(router_.num_shards());
   for (std::size_t s = 0; s < router_.num_shards(); ++s) {
     auto shard = std::make_unique<Shard>(config_);
@@ -17,8 +21,28 @@ MarketEngine::MarketEngine(EngineConfig config)
           std::make_unique<obs::MetricsSink>("shard" + std::to_string(s), config_.clock);
       shard->market.set_sink(shard->sink.get());
     }
+    if (injector_ != nullptr) shard->market.set_fault_injector(injector_.get(), s);
     shards_.push_back(std::move(shard));
   }
+}
+
+std::uint64_t MarketEngine::retry_backoff(std::size_t attempt) const {
+  DECLOUD_EXPECTS(attempt >= 1);
+  const std::size_t shift = attempt - 1 > 16 ? 16 : attempt - 1;  // cap the exponent
+  const std::uint64_t base = config_.retry.backoff_epochs == 0 ? 1 : config_.retry.backoff_epochs;
+  return base << shift;
+}
+
+void MarketEngine::defer(Shard& shard, std::size_t shard_index, IngestItem item,
+                         std::size_t attempt) {
+  (void)shard_index;
+  const std::uint64_t due =
+      shard.epochs_started.load(std::memory_order_relaxed) + retry_backoff(attempt);
+  {
+    const std::lock_guard<std::mutex> lock(shard.deferred_mutex);
+    shard.deferred.push_back({std::move(item), attempt, due});
+  }
+  shard.retries_scheduled.fetch_add(1, std::memory_order_relaxed);
 }
 
 template <typename Bid>
@@ -30,8 +54,24 @@ EngineAdmission MarketEngine::submit_bid(const Bid& bid) {
     return {Admission::kRejected, EngineAdmission::Reason::kUnroutable, 0};
   }
   Shard& shard = *shards_[route.shard];
-  const auto result = shard.queue.push(IngestItem{bid});
+  // A kRejectIngest fault makes the queue refuse this submission exactly
+  // as if it were full — the recovery path (retry or final rejection) is
+  // identical to real backpressure.
+  const std::uint64_t seq = shard.ingest_seq.fetch_add(1, std::memory_order_relaxed);
+  const bool fault_rejected =
+      injector_ != nullptr &&
+      injector_->fires(fault::FaultKind::kRejectIngest, {0, route.shard, seq, 0});
+  BoundedQueue<IngestItem>::Result result{};
+  if (fault_rejected) {
+    result = {Admission::kRejected, RejectReason::kCapacity};
+  } else {
+    result = shard.queue.push(IngestItem{bid});
+  }
   if (!result.admitted()) {
+    if (config_.retry.max_attempts > 0) {
+      defer(shard, route.shard, IngestItem{bid}, 1);
+      return {Admission::kQueued, EngineAdmission::Reason::kDeferred, route.shard};
+    }
     shard.rejected_backpressure.fetch_add(1, std::memory_order_relaxed);
     return {Admission::kRejected, EngineAdmission::Reason::kBackpressure, route.shard};
   }
@@ -51,6 +91,8 @@ std::size_t MarketEngine::queued_bids() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->queue.size() + shard->market.queued_bids();
+    const std::lock_guard<std::mutex> lock(shard->deferred_mutex);
+    total += shard->deferred.size();
   }
   return total;
 }
@@ -58,6 +100,52 @@ std::size_t MarketEngine::queued_bids() const {
 void MarketEngine::run_shard_epoch(std::size_t shard_index, Time now) {
   DECLOUD_EXPECTS(shard_index < shards_.size());
   Shard& shard = *shards_[shard_index];
+  const std::uint64_t epoch = shard.epochs_started.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Flush due retries ahead of the queue drain: a deferred bid was
+  // refused BEFORE anything currently queued was admitted, so it keeps
+  // its seniority.  Retried bids enter the shard market directly — the
+  // bounded queue already refused them once; bouncing them off it again
+  // would make the backoff schedule depend on unrelated queue depth.
+  if (config_.retry.max_attempts > 0) {
+    obs::SpanScope span(shard.sink.get(), "retry_flush");
+    std::vector<Deferred> due;
+    {
+      const std::lock_guard<std::mutex> lock(shard.deferred_mutex);
+      std::vector<Deferred> later;
+      later.reserve(shard.deferred.size());
+      for (Deferred& d : shard.deferred) {
+        (d.due_epoch <= epoch ? due : later).push_back(std::move(d));
+      }
+      shard.deferred = std::move(later);
+    }
+    for (Deferred& d : due) {
+      const std::uint64_t seq = shard.retry_seq++;
+      if (injector_ != nullptr &&
+          injector_->fires(fault::FaultKind::kRejectIngest,
+                           {epoch, shard_index, seq, d.attempt})) {
+        if (d.attempt < config_.retry.max_attempts) {
+          const std::uint64_t next_due = epoch + retry_backoff(d.attempt + 1);
+          {
+            const std::lock_guard<std::mutex> lock(shard.deferred_mutex);
+            shard.deferred.push_back({std::move(d.item), d.attempt + 1, next_due});
+          }
+          shard.retries_scheduled.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ++shard.retries_dropped;
+          if (shard.sink != nullptr) {
+            shard.sink->metrics().counter("engine.bids_retry_dropped").add(1);
+          }
+        }
+        continue;
+      }
+      std::visit([&](const auto& bid) { shard.market.submit(bid); }, d.item.bid);
+      ++shard.retries_succeeded;
+      if (shard.sink != nullptr) {
+        shard.sink->metrics().counter("engine.bids_retry_succeeded").add(1);
+      }
+    }
+    span.add_work(due.size());
+  }
   {
     obs::SpanScope span(shard.sink.get(), "epoch_drain");
     std::size_t drained = 0;
@@ -86,11 +174,17 @@ EngineReport MarketEngine::report() const {
     sr.epochs = shard.epochs_run;
     sr.bids_rejected_backpressure = shard.rejected_backpressure.load(std::memory_order_relaxed);
     sr.bids_spilled = shard.spilled.load(std::memory_order_relaxed);
+    sr.bids_retry_scheduled = shard.retries_scheduled.load(std::memory_order_relaxed);
+    sr.bids_retry_succeeded = shard.retries_succeeded;
+    sr.bids_retry_dropped = shard.retries_dropped;
     sr.stats = shard.market.stats();
 
     merge_stats(report.total, sr.stats);
     report.bids_rejected_backpressure += sr.bids_rejected_backpressure;
     report.bids_spilled += sr.bids_spilled;
+    report.bids_retry_scheduled += sr.bids_retry_scheduled;
+    report.bids_retry_succeeded += sr.bids_retry_succeeded;
+    report.bids_retry_dropped += sr.bids_retry_dropped;
     report.shards.push_back(std::move(sr));
   }
   if constexpr (decloud::audit::kEnabled) audit_report(report);
@@ -103,14 +197,21 @@ obs::MetricsSink MarketEngine::engine_summary_sink() const {
   m.counter("engine.bids_rejected_unroutable")
       .add(rejected_unroutable_.load(std::memory_order_relaxed));
   std::size_t backpressure = 0, spilled = 0, epochs = 0;
+  std::size_t retries = 0, retry_ok = 0, retry_dropped = 0;
   for (const auto& shard : shards_) {
     backpressure += shard->rejected_backpressure.load(std::memory_order_relaxed);
     spilled += shard->spilled.load(std::memory_order_relaxed);
     epochs += shard->epochs_run;
+    retries += shard->retries_scheduled.load(std::memory_order_relaxed);
+    retry_ok += shard->retries_succeeded;
+    retry_dropped += shard->retries_dropped;
   }
   m.counter("engine.bids_rejected_backpressure").add(backpressure);
   m.counter("engine.bids_spilled").add(spilled);
   m.counter("engine.shard_epochs").add(epochs);
+  m.counter("engine.bids_retry_scheduled").add(retries);
+  m.counter("engine.bids_retry_succeeded").add(retry_ok);
+  m.counter("engine.bids_retry_dropped").add(retry_dropped);
   m.gauge("engine.num_shards").set(static_cast<double>(shards_.size()));
   router_.annotate(m);
   return sink;

@@ -22,16 +22,29 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <variant>
 #include <vector>
 
 #include "common/bounded_queue.hpp"
 #include "engine/report.hpp"
 #include "engine/shard_router.hpp"
+#include "fault/injector.hpp"
 #include "ledger/market.hpp"
 #include "obs/sink.hpp"
 
 namespace decloud::engine {
+
+/// Deterministic retry-with-backoff for refused ingests.  Off by default
+/// (max_attempts == 0): a rejection is final, as before.  When on, a
+/// refused bid is parked in the shard's deferral buffer and resubmitted at
+/// the epoch `backoff_epochs · 2^(attempt-1)` ticks later, up to
+/// max_attempts times; what still fails then is dropped and counted in
+/// EngineReport::bids_retry_dropped.
+struct IngestRetryPolicy {
+  std::size_t max_attempts = 0;
+  std::size_t backoff_epochs = 1;
+};
 
 struct EngineConfig {
   /// Routing (also fixes the shard count via router.num_shards).
@@ -55,16 +68,26 @@ struct EngineConfig {
   /// engine call).  Null = logical-clock-only mode, whose trace export is
   /// byte-deterministic across thread counts.
   obs::Clock* clock = nullptr;
+  /// Retry-with-backoff for refused ingests (see IngestRetryPolicy).
+  IngestRetryPolicy retry;
+  /// Deterministic fault schedule.  Non-empty: the engine owns a
+  /// FaultInjector over (fault_plan, fault_seed) and threads it through
+  /// every shard market/protocol plus its own ingest path.  Shards see
+  /// independent slices via the FaultSite::shard coordinate.
+  fault::FaultPlan fault_plan;
+  std::uint64_t fault_seed = 1;
 };
 
 /// Producer-visible outcome of one submit().
 struct EngineAdmission {
   Admission status = Admission::kRejected;
-  /// Why, when status == kRejected.
+  /// Why the bid was refused (kRejected) or parked (kDeferred).
   enum class Reason : std::uint8_t {
     kNone,          ///< admitted
     kBackpressure,  ///< the shard's ingest queue is full
     kUnroutable,    ///< no location and SpilloverPolicy::kReject
+    kDeferred,      ///< refused now, parked for deterministic retry
+                    ///< (status == kQueued: the bid is still in flight)
   };
   Reason reason = Reason::kNone;
   /// Target shard (valid unless reason == kUnroutable).
@@ -129,6 +152,14 @@ class MarketEngine {
     std::variant<auction::Request, auction::Offer> bid;
   };
 
+  /// A refused ingest parked for retry.  `attempt` counts refusals so far;
+  /// the item re-enters the shard market at `due_epoch`.
+  struct Deferred {
+    IngestItem item;
+    std::size_t attempt = 1;
+    std::uint64_t due_epoch = 0;
+  };
+
   struct Shard {
     explicit Shard(const EngineConfig& config)
         : queue(config.queue_capacity, config.queue_watermark), market(config.market) {}
@@ -141,12 +172,32 @@ class MarketEngine {
     // Producer-side counters (atomic: submit runs on producer threads).
     std::atomic<std::size_t> rejected_backpressure{0};
     std::atomic<std::size_t> spilled{0};
-    // Consumer-side counter (only the scheduler touches it).
+    /// Per-shard ingest sequence: the FaultSite::index of submit-side
+    /// fault decisions (atomic so producers on any thread get distinct
+    /// sites).
+    std::atomic<std::uint64_t> ingest_seq{0};
+    /// Epochs started for this shard; read by producers to stamp deferral
+    /// due-epochs, written by the (single) consumer at each tick.
+    std::atomic<std::uint64_t> epochs_started{0};
+    /// Deferral buffer (guarded: producers park, the consumer flushes).
+    std::mutex deferred_mutex;
+    std::vector<Deferred> deferred;
+    std::atomic<std::size_t> retries_scheduled{0};
+    // Consumer-side counters (only the scheduler's shard thread touches
+    // them).
     std::size_t epochs_run = 0;
+    std::size_t retries_succeeded = 0;
+    std::size_t retries_dropped = 0;
+    std::uint64_t retry_seq = 0;
   };
 
   template <typename Bid>
   EngineAdmission submit_bid(const Bid& bid);
+
+  /// Parks a refused ingest in the shard's deferral buffer.
+  void defer(Shard& shard, std::size_t shard_index, IngestItem item, std::size_t attempt);
+  /// Backoff in epochs before retry `attempt` re-enters the market.
+  [[nodiscard]] std::uint64_t retry_backoff(std::size_t attempt) const;
 
   /// Builds the synthetic "engine" sink (producer-side atomics + router
   /// annotation) the exports prepend to the per-shard sinks.
@@ -156,6 +207,9 @@ class MarketEngine {
 
   EngineConfig config_;
   ShardRouter router_;
+  /// Owned fault injector (null when config.fault_plan is empty).  Const
+  /// and stateless, so sharing it across shards and threads is free.
+  std::unique_ptr<const fault::FaultInjector> injector_;
   // unique_ptr: Shard is neither movable nor copyable (queue mutex,
   // orchestrator), and the vector is sized once in the constructor.
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -26,6 +26,14 @@ struct ShardReport {
   std::size_t bids_rejected_backpressure = 0;
   /// Location-less bids the spillover policy placed here.
   std::size_t bids_spilled = 0;
+  /// Refused ingests parked for deterministic retry (IngestRetryPolicy);
+  /// re-deferrals count again, so scheduled >= succeeded + dropped is NOT
+  /// an identity — scheduled == succeeded + dropped + still-parked.
+  std::size_t bids_retry_scheduled = 0;
+  /// Retries that re-entered the shard market.
+  std::size_t bids_retry_succeeded = 0;
+  /// Retries dropped after exhausting the attempt budget.
+  std::size_t bids_retry_dropped = 0;
   /// The shard market's own lifetime stats.
   ledger::MarketStats stats;
 
@@ -46,6 +54,9 @@ struct EngineReport {
   std::size_t bids_rejected_backpressure = 0;
   std::size_t bids_rejected_unroutable = 0;
   std::size_t bids_spilled = 0;
+  std::size_t bids_retry_scheduled = 0;
+  std::size_t bids_retry_succeeded = 0;
+  std::size_t bids_retry_dropped = 0;
   std::size_t epochs = 0;  ///< scheduler ticks executed
 
   /// Canonical serialization: every field of every shard plus the totals,

@@ -21,6 +21,12 @@ void ReputationRegistry::record_deny(ClientId client) {
   if (e.score < 0.0) e.score = 0.0;
 }
 
+void ReputationRegistry::record_withhold(ClientId client) {
+  auto& e = entries_.try_emplace(client, Entry{config_.initial}).first->second;
+  e.score *= config_.withhold_factor;
+  if (e.score < 0.0) e.score = 0.0;
+}
+
 double ReputationRegistry::score(ClientId client) const {
   const auto it = entries_.find(client);
   return it == entries_.end() ? config_.initial : it->second.score;

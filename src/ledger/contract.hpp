@@ -51,6 +51,10 @@ struct ReputationConfig {
   double denial_factor = 0.8;
   double recovery = 0.05;
   double max_score = 1.0;
+  /// Multiplicative penalty for withholding a key reveal (the bid was
+  /// included in a preamble but its keys never came — wasted miner work).
+  /// Harsher than one denial: withholding sabotages the whole round.
+  double withhold_factor = 0.5;
 };
 
 class ReputationRegistry {
@@ -61,6 +65,9 @@ class ReputationRegistry {
 
   void record_accept(ClientId client);
   void record_deny(ClientId client);
+  /// Withholding penalty: one multiplicative `withhold_factor` hit, no
+  /// streak escalation (each round charges at most once per sender).
+  void record_withhold(ClientId client);
 
   [[nodiscard]] double score(ClientId client) const;
   [[nodiscard]] std::size_t consecutive_denials(ClientId client) const;
@@ -116,6 +123,11 @@ class AgreementContract {
 
   /// Marks an Active agreement Completed (called at the end of execution).
   bool complete(ContractId id, ProviderId caller);
+
+  /// Debits `address` for withholding a key reveal (LedgerProtocol calls
+  /// this with the sealed bid's ledger address — the plaintext identity of
+  /// an unopened bid is unknowable by construction).
+  void penalize_withhold(ClientId address) { reputation_.record_withhold(address); }
 
   [[nodiscard]] std::optional<Agreement> find(ContractId id) const;
   [[nodiscard]] const ReputationRegistry& reputation() const { return reputation_; }

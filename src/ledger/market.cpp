@@ -35,12 +35,38 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
   pending_requests_.clear();
   pending_offers_.clear();
 
+  // Seal-time fault hooks: a kCorruptSealedBid fault tampers with the
+  // ciphertext after signing (the protocol drops the bid at its signature
+  // check); a kDuplicateSealedBid fault submits the bid twice (the mempool
+  // refuses the second copy).  Sites are (round, shard, bid index).
+  const std::uint64_t fault_round = protocol_.chain().height();
+  std::uint64_t bid_index = 0;
+  const auto submit_sealed = [&](SealedBid sealed) {
+    const fault::FaultSite site{fault_round, shard_, bid_index++, 0};
+    if (fault_ != nullptr && fault_->fires(fault::FaultKind::kCorruptSealedBid, site)) {
+      if (sealed.ciphertext.empty()) {
+        sealed.ciphertext.push_back(0xFF);
+      } else {
+        sealed.ciphertext.front() ^= 0xFF;
+      }
+      if (sink_ != nullptr) sink_->metrics().counter("fault.bids_corrupted").add(1);
+    }
+    const bool duplicate =
+        fault_ != nullptr && fault_->fires(fault::FaultKind::kDuplicateSealedBid, site);
+    if (protocol_.mempool().submit(sealed) == Mempool::Admission::kDuplicate) {
+      ++stats_.bids_duplicate_rejected;
+    }
+    if (duplicate && protocol_.mempool().submit(sealed) == Mempool::Admission::kDuplicate) {
+      ++stats_.bids_duplicate_rejected;
+      if (sink_ != nullptr) sink_->metrics().counter("fault.duplicates_rejected").add(1);
+    }
+  };
   for (const auto& pr : in_flight_requests) {
     request_attempt[pr.request.id.value()] = pr.attempts;
-    protocol_.mempool().submit(wallet_.submit_request(pr.request, rng_));
+    submit_sealed(wallet_.submit_request(pr.request, rng_));
   }
   for (const auto& po : in_flight_offers) {
-    protocol_.mempool().submit(wallet_.submit_offer(po.offer, rng_));
+    submit_sealed(wallet_.submit_offer(po.offer, rng_));
   }
 
   const std::vector<Miner> verifiers(config_.num_verifiers, Miner(config_.consensus));
@@ -126,6 +152,19 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
     m.counter("market.resubmissions").add(resubmitted);
     m.counter("market.requests_allocated").add(allocated_this_round);
     m.histogram("market.round_welfare", 0.0, 64.0, 16).add(outcome.result.welfare);
+  }
+
+  // Client-side misbehaviour: a kDenyAgreement fault makes the client of
+  // match `m` refuse its proposed agreement (Section III-B's deny path,
+  // with the reputational penalty and stat reversal deny_agreement does).
+  if (fault_ != nullptr && fault_->active()) {
+    for (std::size_t m = 0; m < outcome.agreements.size(); ++m) {
+      if (fault_->fires(fault::FaultKind::kDenyAgreement, {fault_round, shard_, m, 0})) {
+        if (deny_agreement(outcome.agreements[m]) && sink_ != nullptr) {
+          sink_->metrics().counter("fault.agreements_denied").add(1);
+        }
+      }
+    }
   }
   return outcome;
 }

@@ -40,6 +40,9 @@ struct MarketStats {
   std::size_t requests_allocated = 0;
   std::size_t requests_abandoned = 0;
   std::size_t offers_submitted = 0;
+  /// Sealed bids the mempool refused as duplicates (double-submission,
+  /// whether injected by a fault plan or a buggy client).
+  std::size_t bids_duplicate_rejected = 0;
   /// Proposed agreements the client side denied (deny_agreement).  A
   /// denial un-counts the request's allocation — the match never executed
   /// — so requests_allocated and the latency histogram only ever describe
@@ -93,6 +96,17 @@ class MarketOrchestrator {
   /// state / unknown id) or the agreement is not from the latest round.
   bool deny_agreement(ContractId id);
 
+  /// Attaches a deterministic fault injector (not owned, may be null);
+  /// forwarded to the protocol.  `shard` namespaces the fault sites so an
+  /// engine's shards see independent slices of one plan.  Orchestrator-
+  /// level faults: sealed-bid corruption, duplicate submission, and
+  /// client-side agreement denial.
+  void set_fault_injector(const fault::FaultInjector* injector, std::uint64_t shard = 0) {
+    fault_ = injector;
+    shard_ = shard;
+    protocol_.set_fault_injector(injector, shard);
+  }
+
   /// Attaches an observability sink (not owned, may be null); forwarded to
   /// the protocol so every layer of a round reports into the same sink.
   void set_sink(obs::MetricsSink* sink) {
@@ -136,6 +150,8 @@ class MarketOrchestrator {
   std::unordered_map<ContractId, MatchRecord> last_round_matches_;
   MarketStats stats_;
   obs::MetricsSink* sink_ = nullptr;
+  const fault::FaultInjector* fault_ = nullptr;
+  std::uint64_t shard_ = 0;
 };
 
 }  // namespace decloud::ledger

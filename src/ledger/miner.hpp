@@ -23,6 +23,13 @@ struct ConsensusParams {
   /// Upper bound on PoW attempts before the miner gives up (simulation
   /// safety valve; never hit at sane difficulties).
   std::uint64_t max_pow_attempts = UINT64_MAX;
+  /// Fraction of verifier votes required to accept a block, in (0, 1].
+  /// 1.0 keeps the historical unanimity rule; 2.0/3.0 tolerates a
+  /// dishonest minority (LedgerProtocol::required_accepts rounds up).
+  double quorum = 1.0;
+  /// Re-mine attempts a producer gets after a rejected block, each with
+  /// the faulty inputs (unopened bids) excluded.  0 = reject outright.
+  std::size_t max_remine_attempts = 0;
 };
 
 /// The bids of a block decrypted into an auction snapshot, remembering

@@ -37,12 +37,22 @@ SimTime Network::link_latency(NodeId from, NodeId to) const {
 void Network::send(NodeId from, NodeId to, Message message) {
   DECLOUD_EXPECTS(from.value() < handlers_.size() && to.value() < handlers_.size());
   DECLOUD_EXPECTS_MSG(static_cast<bool>(handlers_[to.value()]), "destination has no handler");
+  const fault::FaultSite site{0, 0, messages_sent_, 0};
   ++messages_sent_;
+  if (fault_ != nullptr && fault_->fires(fault::FaultKind::kDropMessage, site)) {
+    ++messages_dropped_;
+    ++messages_fault_dropped_;
+    return;  // injected partition: the message never existed
+  }
   if (loss_ > 0.0 && rng_.bernoulli(loss_)) {
     ++messages_dropped_;
     return;  // the overlay ate it
   }
-  const SimTime delay = link_latency(from, to);
+  SimTime delay = link_latency(from, to);
+  if (fault_ != nullptr && fault_->fires(fault::FaultKind::kDelayMessage, site)) {
+    delay += static_cast<SimTime>(fault_->payload(fault::FaultKind::kDelayMessage, site));
+    ++messages_fault_delayed_;
+  }
   queue_.schedule_in(delay, [this, from, to, msg = std::move(message)]() {
     handlers_[to.value()](from, msg);
   });

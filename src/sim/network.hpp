@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/injector.hpp"
 #include "ledger/block.hpp"
 #include "sim/event_queue.hpp"
 
@@ -55,8 +56,20 @@ class Network {
 
   Network(std::size_t num_nodes, LatencyConfig latency, EventQueue& queue, Rng& rng);
 
-  /// Messages silently dropped by the loss model so far.
+  /// Messages silently dropped by the loss model so far (including
+  /// injected fault drops).
   [[nodiscard]] std::size_t messages_dropped() const { return messages_dropped_; }
+  /// The subset of messages_dropped() caused by an injected kDropMessage.
+  [[nodiscard]] std::size_t messages_fault_dropped() const { return messages_fault_dropped_; }
+  /// Messages delivered late due to an injected kDelayMessage fault.
+  [[nodiscard]] std::size_t messages_fault_delayed() const { return messages_fault_delayed_; }
+
+  /// Attaches a deterministic fault injector (not owned, may be null).
+  /// kDropMessage eats a message; kDelayMessage adds the rule's payload
+  /// (ms) to the link latency.  The fault site index is the message
+  /// sequence number (messages_sent() at send time), so decisions are a
+  /// pure function of traffic order.
+  void set_fault_injector(const fault::FaultInjector* injector) { fault_ = injector; }
 
   /// Registers the message handler for a node (must be set before traffic).
   void attach(NodeId node, Handler handler);
@@ -80,6 +93,9 @@ class Network {
   double loss_ = 0.0;
   std::size_t messages_sent_ = 0;
   std::size_t messages_dropped_ = 0;
+  std::size_t messages_fault_dropped_ = 0;
+  std::size_t messages_fault_delayed_ = 0;
+  const fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace decloud::sim

@@ -11,6 +11,7 @@ Simulation::Simulation(SimulationConfig config)
       rng_(config_.seed),
       network_(config_.num_miners + config_.num_participants, config_.latency, queue_, rng_) {
   DECLOUD_EXPECTS(config_.num_miners > 0);
+  network_.set_fault_injector(config_.fault);
 
   MinerNode::Timing timing = config_.timing;
   timing.vote_quorum = config_.num_miners;

@@ -26,6 +26,9 @@ struct SimulationConfig {
   MinerNode::Timing timing;
   ledger::ConsensusParams consensus;
   std::uint64_t seed = 1;
+  /// Optional deterministic fault injector (not owned, may be null);
+  /// attached to the overlay so a plan can drop/delay protocol messages.
+  const fault::FaultInjector* fault = nullptr;
   /// Optional observability sink (not owned, may be null).  The simulation
   /// is single-threaded, so one sink serves the whole deployment: each
   /// round records a "sim.round" span plus consensus/economics counters

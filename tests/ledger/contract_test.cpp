@@ -161,6 +161,81 @@ TEST(Reputation, ClientsAreIndependent) {
   EXPECT_DOUBLE_EQ(rep.score(ClientId(2)), 1.0);
 }
 
+// Property-style edge cases: the score must stay inside [0, max_score]
+// and behave predictably at its boundaries under any penalty sequence.
+TEST(Reputation, ScoreIsClampedToZeroUnderAnyPenaltyBarrage) {
+  ReputationRegistry registry;
+  const ClientId pariah(1);
+  for (int i = 0; i < 200; ++i) {
+    (i % 2 == 0) ? registry.record_deny(pariah) : registry.record_withhold(pariah);
+    const double s = registry.score(pariah);
+    EXPECT_GE(s, 0.0) << "after penalty " << i;
+    EXPECT_LE(s, 1.0) << "after penalty " << i;
+  }
+  // Denormal-or-zero by now; a further penalty at the floor must not
+  // underflow or go negative.
+  registry.record_withhold(pariah);
+  EXPECT_GE(registry.score(pariah), 0.0);
+}
+
+TEST(Reputation, RepeatedDenialsInOneRoundCompoundByStreakLength) {
+  ReputationConfig config;
+  config.initial = 1.0;
+  config.denial_factor = 0.5;
+  ReputationRegistry registry(config);
+  const ClientId flake(2);
+  // Streak arithmetic: the k-th consecutive denial multiplies by
+  // factor^k, so three denials in one round cost factor^(1+2+3).
+  registry.record_deny(flake);
+  EXPECT_DOUBLE_EQ(registry.score(flake), 0.5);
+  registry.record_deny(flake);
+  EXPECT_DOUBLE_EQ(registry.score(flake), 0.5 * 0.25);
+  registry.record_deny(flake);
+  EXPECT_DOUBLE_EQ(registry.score(flake), 0.5 * 0.25 * 0.125);
+  EXPECT_EQ(registry.consecutive_denials(flake), 3u);
+}
+
+TEST(Reputation, ZeroRecoveryConfigNeverHeals) {
+  ReputationConfig config;
+  config.recovery = 0.0;
+  ReputationRegistry registry(config);
+  const ClientId client(3);
+  registry.record_deny(client);
+  const double after_deny = registry.score(client);
+  for (int i = 0; i < 50; ++i) registry.record_accept(client);
+  // Accepts still reset the streak, but with zero recovery the score is
+  // stuck where the denial left it.
+  EXPECT_DOUBLE_EQ(registry.score(client), after_deny);
+  EXPECT_EQ(registry.consecutive_denials(client), 0u);
+  registry.record_deny(client);
+  EXPECT_DOUBLE_EQ(registry.score(client), after_deny * config.denial_factor);
+}
+
+TEST(Reputation, WithholdPenaltyHasNoStreakEscalation) {
+  ReputationConfig config;
+  config.withhold_factor = 0.5;
+  ReputationRegistry registry(config);
+  const ClientId client(4);
+  registry.record_withhold(client);
+  registry.record_withhold(client);
+  registry.record_withhold(client);
+  // Flat multiplicative hits: factor^3, not factor^(1+2+3).
+  EXPECT_DOUBLE_EQ(registry.score(client), 0.125);
+  EXPECT_EQ(registry.consecutive_denials(client), 0u);  // not a denial
+  // A later denial starts its streak from one.
+  registry.record_deny(client);
+  EXPECT_DOUBLE_EQ(registry.score(client), 0.125 * config.denial_factor);
+}
+
+TEST(Reputation, WithholdFlowsThroughTheContract) {
+  AgreementContract contract;
+  const ClientId address(99);
+  contract.penalize_withhold(address);
+  const ReputationConfig config;
+  EXPECT_DOUBLE_EQ(contract.reputation().score(address),
+                   config.initial * config.withhold_factor);
+}
+
 TEST(Reputation, ContractRecordsThroughAcceptDeny) {
   Fixture f;
   f.contract.deny(f.ids[0], ClientId(1));

@@ -51,6 +51,33 @@ TEST(Mempool, DrainsInSubmissionOrder) {
   EXPECT_EQ(pool.size(), 0u);
 }
 
+TEST(Mempool, RejectsDuplicateSealedBids) {
+  Mempool pool;
+  Rng rng(9);
+  Participant wallet(rng);
+  SealedBid bid = wallet.submit_request(simple_request(1, 1.0), rng);
+  const SealedBid copy = bid;
+  EXPECT_EQ(pool.submit(std::move(bid)), Mempool::Admission::kAccepted);
+  EXPECT_EQ(pool.submit(copy), Mempool::Admission::kDuplicate);
+  EXPECT_EQ(pool.size(), 1u);  // the duplicate never pooled
+
+  // Draining forgets the digests: the same bid may try again next round.
+  (void)pool.drain();
+  EXPECT_EQ(pool.submit(copy), Mempool::Admission::kAccepted);
+  EXPECT_EQ(pool.size(), 1u);
+
+  // A partial drain only forgets what left the pool.
+  Mempool partial;
+  SealedBid first = wallet.submit_request(simple_request(2, 1.0), rng);
+  const SealedBid second = wallet.submit_request(simple_request(3, 1.0), rng);
+  const SealedBid first_copy = first;
+  partial.submit(std::move(first));
+  partial.submit(second);
+  EXPECT_EQ(partial.drain(1).size(), 1u);
+  EXPECT_EQ(partial.submit(first_copy), Mempool::Admission::kAccepted);  // left with the drain
+  EXPECT_EQ(partial.submit(second), Mempool::Admission::kDuplicate);     // still pooled
+}
+
 TEST(Protocol, FullRoundProducesAcceptedBlock) {
   LedgerProtocol protocol(params());
   Rng rng(2);

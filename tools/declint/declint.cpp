@@ -121,6 +121,8 @@ constexpr EntryPoint kEntryPoints[] = {
     {"src/ledger/market.cpp", "MarketOrchestrator::run_round"},
     {"src/ledger/market.cpp", "MarketOrchestrator::deny_agreement"},
     {"src/ledger/protocol.cpp", "LedgerProtocol::run_round"},
+    {"src/fault/fault.cpp", "FaultPlan::parse"},
+    {"src/fault/injector.cpp", "FaultInjector::fires"},
 };
 
 // ---------------------------------------------------------------------------
@@ -323,7 +325,7 @@ bool path_contains(const std::string& path, std::string_view needle) {
 
 bool in_deterministic_module(const std::string& path) {
   return path_contains(path, "src/auction/") || path_contains(path, "src/engine/") ||
-         path_contains(path, "src/ledger/");
+         path_contains(path, "src/ledger/") || path_contains(path, "src/fault/");
 }
 
 bool in_economics_code(const std::string& path) {

@@ -1,0 +1,35 @@
+// Seeded violation fixture for declint over src/fault/ (NOT compiled):
+// fault code is a deterministic module, so hash-order iteration, ambient
+// randomness, and an unchecked FaultInjector::fires entry point must all
+// be findings — they would silently break the chaos replay contract.
+#include <cstdlib>
+#include <unordered_map>
+
+namespace decloud::fault {
+
+struct FaultSite {
+  unsigned long long index = 0;
+};
+
+struct FaultInjector {
+  bool fires(int kind, const FaultSite& site) const;
+};
+
+// entry-ensure: a fault decision entry point with no ENSURE-style check.
+bool FaultInjector::fires(int kind, const FaultSite& site) const {
+  std::unordered_map<int, double> coins;
+  coins[kind] = 0.5;
+
+  double total = 0.0;
+  // unordered-iter: hash-order iteration in a deterministic module.
+  for (const auto& [rule, p] : coins) {
+    total += p;
+  }
+
+  // ambient-rng: a stateful global generator instead of the seeded site
+  // hash — decisions would depend on query order and thread count.
+  return static_cast<double>(std::rand()) / 2147483647.0 <
+         total + static_cast<double>(site.index) * 0.0;
+}
+
+}  // namespace decloud::fault
