@@ -6,8 +6,10 @@
 //
 //   * matching_sparse  — the pre-ScoreMatrix hot path: per-pair sparse
 //     quality_of_match walks inside best_offers (serial);
-//   * matching_dense   — ScoreMatrix precompute + dense best_offers fan-out
-//     at 1..N threads;
+//   * matching_dense   — ScoreMatrix precompute + tiled score_row kernel +
+//     bounded top-k fan-out at 1..N threads;
+//   * matching_pruned  — ScoreMatrix + CandidateIndex build + the pruned
+//     shortlist queries at 1..N threads (byte-identical results to dense);
 //   * full_mechanism   — DeCloudAuction::run end to end at 1..N threads;
 //   * engine_drive     — the sharded engine end to end (trace-driven
 //     stream, epoch scheduling) at each (shards, threads) pair, with
@@ -22,12 +24,20 @@
 //     budget).
 //
 // Usage: perf_smoke [--rounds N] [--threads a,b,c] [--shards a,b,c]
+//                   [--requests N] [--offers N] [--matching-only]
 //   --rounds   timing repetitions per entry; the MINIMUM is reported
 //              (default 5)
 //   --threads  comma-separated thread counts for the parallel entries
 //              (default "1,<hardware_concurrency>")
 //   --shards   comma-separated shard counts for the engine entries
 //              (default "1,4"; pass 0 to skip the engine section)
+//   --requests market size of the matching_* section (default 256) — the
+//              100k trajectory capture is `--requests 100000 --offers 50000
+//              --matching-only`
+//   --offers   offers for the matching_* section (default requests / 2)
+//   --matching-only  emit only the matching_* entries (skips the mechanism
+//              and engine sections, whose sizes stay fixed for trajectory
+//              comparability)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "auction/candidate_index.hpp"
 #include "auction/mechanism.hpp"
 #include "auction/qom.hpp"
 #include "auction/score_matrix.hpp"
@@ -51,10 +62,11 @@ namespace {
 
 using namespace decloud;
 
-auction::MarketSnapshot make_market(std::size_t requests, std::uint64_t seed) {
+auction::MarketSnapshot make_market(std::size_t requests, std::size_t offers,
+                                    std::uint64_t seed) {
   trace::WorkloadConfig wc;
   wc.num_requests = requests;
-  wc.num_offers = requests / 2;
+  wc.num_offers = offers == 0 ? requests / 2 : offers;
   Rng rng(seed);
   return trace::make_workload(wc, auction::AuctionConfig{}, rng);
 }
@@ -86,10 +98,18 @@ struct Entry {
   double bids_per_sec = 0.0;
 };
 
-void emit(const std::vector<Entry>& entries, int rounds) {
+void emit(const std::vector<Entry>& entries, int rounds,
+          const std::vector<std::size_t>& thread_counts) {
   std::printf("{\n");
-  std::printf("  \"schema\": \"decloud-perf-smoke-v2\",\n");
+  std::printf("  \"schema\": \"decloud-perf-smoke-v3\",\n");
   std::printf("  \"hardware_concurrency\": %zu,\n", ThreadPool::default_workers());
+  // The sweep actually run, so a point captured on a small box is
+  // machine-readably distinguishable from one that exercised real cores.
+  std::printf("  \"thread_sweep\": [");
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    std::printf("%s%zu", i == 0 ? "" : ", ", thread_counts[i]);
+  }
+  std::printf("],\n");
   std::printf("  \"rounds\": %d,\n", rounds);
   std::printf("  \"results\": [\n");
   for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -125,6 +145,9 @@ int main(int argc, char** argv) {
   int rounds = 5;
   std::vector<std::size_t> thread_counts = {1, ThreadPool::default_workers()};
   std::vector<std::size_t> shard_counts = {1, 4};
+  std::size_t matching_requests = 256;
+  std::size_t matching_offers = 0;  // 0 = requests / 2
+  bool matching_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
       rounds = std::max(1, std::atoi(argv[++i]));
@@ -132,8 +155,16 @@ int main(int argc, char** argv) {
       thread_counts = parse_threads(argv[++i]);
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shard_counts = parse_threads(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      matching_requests = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--offers") == 0 && i + 1 < argc) {
+      matching_offers = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--matching-only") == 0) {
+      matching_only = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--rounds N] [--threads a,b,c] [--shards a,b,c]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--rounds N] [--threads a,b,c] [--shards a,b,c]\n"
+                   "          [--requests N] [--offers N] [--matching-only]\n",
                    argv[0]);
       return 2;
     }
@@ -144,37 +175,65 @@ int main(int argc, char** argv) {
 
   std::vector<Entry> entries;
 
-  // --- matching stage at the BM_BestOffers size (256 requests).
+  // --- matching stage (default: the BM_BestOffers size, 256 requests;
+  // --requests/--offers rescale it — the 100k capture in bench/trajectory/
+  // uses --requests 100000 --offers 50000 --matching-only).
   {
-    const auto s = make_market(256, 2);
+    const auto s = make_market(matching_requests, matching_offers, 2);
     const auction::AuctionConfig cfg;
     const auction::BlockScale scale(s.requests, s.offers);
 
-    const double sparse_ms = time_min_ms(rounds, [&] {
-      for (std::size_t r = 0; r < s.requests.size(); ++r) {
-        volatile auto sink = auction::best_offers(s.requests[r], s, scale, cfg).size();
-        (void)sink;
-      }
-    });
-    entries.push_back({"matching_sparse", s.requests.size(), s.offers.size(), 1, sparse_ms});
+    // The sparse walk is O(R·O) entry-list chasing — hours at 100k scale —
+    // so it only runs at sizes where a serial sweep finishes in seconds.
+    if (s.requests.size() * s.offers.size() <= std::size_t{2048} * 1024) {
+      const double sparse_ms = time_min_ms(rounds, [&] {
+        for (std::size_t r = 0; r < s.requests.size(); ++r) {
+          volatile auto sink = auction::best_offers(s.requests[r], s, scale, cfg).size();
+          (void)sink;
+        }
+      });
+      entries.push_back({"matching_sparse", s.requests.size(), s.offers.size(), 1, sparse_ms});
+    }
 
     for (const std::size_t t : thread_counts) {
       ThreadPool pool(t);
       ThreadPool* p = t > 1 ? &pool : nullptr;
+      // Dense reference: tiled score_row kernel + bounded top-k.
       const double dense_ms = time_min_ms(rounds, [&] {
         const auction::ScoreMatrix scores(s, scale);
         run_chunked(p, 0, s.requests.size(), [&](std::size_t r) {
-          volatile auto sink = auction::best_offers(r, s, scores, cfg).size();
+          thread_local std::vector<double> row;
+          row.resize(scores.offers());
+          scores.score_row(r, row);
+          volatile auto sink = auction::best_offers_from_row(r, s, row, cfg).size();
           (void)sink;
         });
       });
       entries.push_back({"matching_dense", s.requests.size(), s.offers.size(), t, dense_ms});
+
+      // Pruned path: index build + shortlist queries, timed end to end so
+      // the comparison charges the index its construction cost.
+      const double pruned_ms = time_min_ms(rounds, [&] {
+        const auction::ScoreMatrix scores(s, scale);
+        const auction::CandidateIndex index(s, scale, scores);
+        run_chunked(p, 0, s.requests.size(), [&](std::size_t r) {
+          thread_local auction::CandidateIndex::Scratch scratch;
+          volatile auto sink = index.best_offers(r, s, scores, cfg, scratch).size();
+          (void)sink;
+        });
+      });
+      entries.push_back({"matching_pruned", s.requests.size(), s.offers.size(), t, pruned_ms});
     }
+  }
+
+  if (matching_only) {
+    emit(entries, rounds, thread_counts);
+    return 0;
   }
 
   // --- full mechanism at the BM_FullMechanism size (512 requests).
   {
-    const auto s = make_market(512, 4);
+    const auto s = make_market(512, 0, 4);
     for (const std::size_t t : thread_counts) {
       auction::AuctionConfig cfg;
       cfg.threads = t;
@@ -193,7 +252,7 @@ int main(int argc, char** argv) {
   // Compare the pair in bench/trajectory/: live must stay within ~2% of
   // null, and null within noise of full_mechanism@1.
   {
-    const auto s = make_market(512, 4);
+    const auto s = make_market(512, 0, 4);
     auction::AuctionConfig cfg;
     cfg.threads = 1;
     const auction::DeCloudAuction mechanism(cfg);
@@ -289,6 +348,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  emit(entries, rounds);
+  emit(entries, rounds, thread_counts);
   return 0;
 }

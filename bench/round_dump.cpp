@@ -1,0 +1,96 @@
+// round_dump — runs one DeCloudAuction round over a generated workload and
+// prints the canonical RoundResult JSON (round_result_json, %.17g).
+//
+// The output is a byte-exact fingerprint of the allocation: two invocations
+// agree byte-for-byte iff their RoundResults are bit-identical.  CI uses it
+// to enforce the scoring-path contract — the pruned candidate-index path
+// must reproduce the dense path's allocation exactly, at every thread
+// count:
+//
+//   round_dump --requests 2000 --offers 1000 --scoring dense  > a.json
+//   round_dump --requests 2000 --offers 1000 --scoring pruned > b.json
+//   cmp a.json b.json
+//
+//   --requests N      workload requests (default 512)
+//   --offers N        workload offers (default requests / 2)
+//   --seed N          workload seed (default 7)
+//   --round-seed N    verifiable-randomization seed (default 1)
+//   --threads N       scoring fan-out threads; 0 = hardware (default 1)
+//   --scoring MODE    auto | dense | pruned (default auto)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "auction/allocation.hpp"
+#include "auction/mechanism.hpp"
+#include "trace/workload.hpp"
+
+namespace {
+
+using namespace decloud;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 512;
+  std::size_t offers = 0;  // 0 = requests / 2
+  std::uint64_t seed = 7;
+  std::uint64_t round_seed = 1;
+  std::size_t threads = 1;
+  auction::ScoringPath scoring = auction::ScoringPath::kAuto;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "round_dump: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--requests") == 0) {
+      requests = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--offers") == 0) {
+      offers = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--round-seed") == 0) {
+      round_seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--scoring") == 0) {
+      const char* mode = next();
+      if (std::strcmp(mode, "auto") == 0) {
+        scoring = auction::ScoringPath::kAuto;
+      } else if (std::strcmp(mode, "dense") == 0) {
+        scoring = auction::ScoringPath::kDense;
+      } else if (std::strcmp(mode, "pruned") == 0) {
+        scoring = auction::ScoringPath::kPruned;
+      } else {
+        std::fprintf(stderr, "round_dump: --scoring must be auto|dense|pruned\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--requests N] [--offers N] [--seed N] [--round-seed N]\n"
+                   "          [--threads N] [--scoring auto|dense|pruned]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  trace::WorkloadConfig wc;
+  wc.num_requests = requests;
+  wc.num_offers = offers == 0 ? requests / 2 : offers;
+  Rng rng(seed);
+  const auction::MarketSnapshot snapshot = trace::make_workload(wc, auction::AuctionConfig{}, rng);
+
+  auction::AuctionConfig cfg;
+  cfg.threads = threads;
+  cfg.scoring = scoring;
+  const auction::RoundResult result = auction::DeCloudAuction(cfg).run(snapshot, round_seed);
+
+  const std::string json = auction::round_result_json(result);
+  std::fwrite(json.data(), 1, json.size(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}

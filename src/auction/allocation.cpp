@@ -1,6 +1,7 @@
 #include "auction/allocation.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/ensure.hpp"
 
@@ -47,6 +48,83 @@ double RoundResult::satisfaction(std::size_t total_requests) const {
 double RoundResult::reduced_trade_ratio() const {
   if (tentative_trades == 0) return 0.0;
   return static_cast<double>(reduced_trades) / static_cast<double>(tentative_trades);
+}
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_size(std::string& out, std::size_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu", v);
+  out += buf;
+}
+
+void append_doubles(std::string& out, const std::vector<double>& vs) {
+  out += '[';
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i > 0) out += ',';
+    append_double(out, vs[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string round_result_json(const RoundResult& result) {
+  std::string out;
+  out.reserve(256 + result.matches.size() * 128);
+  out += "{\"matches\":[";
+  for (std::size_t i = 0; i < result.matches.size(); ++i) {
+    const Match& m = result.matches[i];
+    if (i > 0) out += ',';
+    out += "{\"request\":";
+    append_size(out, m.request);
+    out += ",\"offer\":";
+    append_size(out, m.offer);
+    out += ",\"fraction\":";
+    append_double(out, m.fraction);
+    out += ",\"payment\":";
+    append_double(out, m.payment);
+    out += ",\"unit_price\":";
+    append_double(out, m.unit_price);
+    out += ",\"granted\":[";
+    bool first = true;
+    for (const auto& e : m.granted.entries()) {
+      if (!first) out += ',';
+      first = false;
+      out += '[';
+      append_size(out, static_cast<std::size_t>(e.type));
+      out += ',';
+      append_double(out, e.amount);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "],\"tentative_trades\":";
+  append_size(out, result.tentative_trades);
+  out += ",\"reduced_trades\":";
+  append_size(out, result.reduced_trades);
+  out += ",\"lottery_clusters\":";
+  append_size(out, result.lottery_clusters);
+  out += ",\"welfare\":";
+  append_double(out, result.welfare);
+  out += ",\"total_payments\":";
+  append_double(out, result.total_payments);
+  out += ",\"total_revenue\":";
+  append_double(out, result.total_revenue);
+  out += ",\"payment_by_request\":";
+  append_doubles(out, result.payment_by_request);
+  out += ",\"revenue_by_offer\":";
+  append_doubles(out, result.revenue_by_offer);
+  out += ",\"clearing_prices\":";
+  append_doubles(out, result.clearing_prices);
+  out += "}";
+  return out;
 }
 
 CapacityTracker::CapacityTracker(const std::vector<Offer>& offers) {

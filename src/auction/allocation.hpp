@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "auction/bid.hpp"
@@ -74,6 +75,13 @@ struct RoundResult {
   /// reduced / tentative, in [0, 1]; 0 when nothing was tradeable.
   [[nodiscard]] double reduced_trade_ratio() const;
 };
+
+/// Canonical JSON rendering of a RoundResult: stable field order, every
+/// double printed with %.17g so distinct bit patterns render distinctly.
+/// Two results serialize to the same bytes iff they are field-for-field
+/// bit-identical — the byte-diff oracle CI uses to compare the dense and
+/// pruned scoring paths (and any other pair of replays).
+[[nodiscard]] std::string round_result_json(const RoundResult& result);
 
 /// Tracks remaining capacity of every offer across clusters and
 /// mini-auctions so constraint (7) (Σ_r φ_(r,o,k) ≤ 1 per resource) holds

@@ -5,6 +5,24 @@
 
 namespace decloud::auction {
 
+/// Which scoring/ranking implementation DeCloudAuction::run uses for the
+/// per-request best-offer stage.  Every path returns bit-identical best
+/// sets (tests/auction/pruned_scoring_test), so the choice is pure
+/// performance — but it is part of AuctionConfig (hence of consensus)
+/// anyway, so a round's exact instruction trace is reproducible.
+enum class ScoringPath {
+  /// Pick per snapshot size: pruned when the offer book is large enough
+  /// for the index to pay for itself, dense otherwise.  The cutover
+  /// depends only on the snapshot (kMinPrunedOffers), never on the host.
+  kAuto,
+  /// Dense reference oracle: tiled ScoreMatrix row kernel over every
+  /// (request, offer) pair + bounded top-k selection.
+  kDense,
+  /// CandidateIndex-pruned path: upper-bound-ordered shortlist scan with
+  /// exact early termination (DESIGN.md §3g).
+  kPruned,
+};
+
 /// Configuration for one allocation round.  Defaults reproduce the paper's
 /// evaluation setup; the ablation benches sweep these.
 struct AuctionConfig {
@@ -37,6 +55,11 @@ struct AuctionConfig {
   /// replays allocations, so miners with different core counts must agree
   /// (see DESIGN.md, "Threading model & determinism").
   std::size_t threads = 0;
+
+  /// Scoring implementation for the best-offer stage (see ScoringPath).
+  /// All three settings produce byte-identical RoundResults; kAuto selects
+  /// kPruned for snapshots with at least kMinPrunedOffers offers.
+  ScoringPath scoring = ScoringPath::kAuto;
 
   /// Ablation switch for the paper's key welfare optimization: when true
   /// (default), price-compatible clusters share a clearing price inside

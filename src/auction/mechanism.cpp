@@ -6,6 +6,8 @@
 #include <optional>
 
 #include "auction/audit.hpp"
+#include "auction/best_select.hpp"
+#include "auction/candidate_index.hpp"
 #include "auction/cluster.hpp"
 #include "auction/economics.hpp"
 #include "auction/feasibility.hpp"
@@ -22,21 +24,61 @@ namespace decloud::auction {
 
 namespace {
 
-/// Shared core of both best_offers overloads; `score(o)` yields q_(r,o).
-/// The sparse and dense score paths are bit-identical (see score_matrix.hpp),
-/// so both overloads rank and threshold identically.
+/// Shared core of the best_offers overloads; `score(o)` yields q_(r,o).
+/// The sparse, dense and row score paths are bit-identical (see
+/// score_matrix.hpp), so every overload ranks and thresholds identically.
+/// Selection runs through the bounded top-k buffer: only the first
+/// max_best_offers entries of the full (q, submitted, id) ranking can ever
+/// be emitted, and BestOfferSelector holds exactly that prefix.
 template <typename ScoreFn>
 std::vector<std::size_t> best_offers_impl(const Request& r, const MarketSnapshot& snapshot,
                                           const AuctionConfig& config, const ScoreFn& score) {
+  BestOfferSelector selector(snapshot.offers, config.max_best_offers);
+  for (std::size_t o = 0; o < snapshot.offers.size(); ++o) {
+    const Offer& offer = snapshot.offers[o];
+    if (!feasible(offer, r, config)) continue;
+    const double q = score(o);
+    if (q <= 0.0) continue;  // no common resource type: never ranked
+    selector.consider(o, q);
+  }
+  return selector.finish(config.best_offer_ratio);
+}
+
+}  // namespace
+
+std::vector<std::size_t> best_offers(const Request& r, const MarketSnapshot& snapshot,
+                                     const BlockScale& scale, const AuctionConfig& config) {
+  return best_offers_impl(r, snapshot, config,
+                          [&](std::size_t o) { return quality_of_match(r, snapshot.offers[o], scale); });
+}
+
+std::vector<std::size_t> best_offers(std::size_t request, const MarketSnapshot& snapshot,
+                                     const ScoreMatrix& scores, const AuctionConfig& config) {
+  return best_offers_impl(snapshot.requests[request], snapshot, config,
+                          [&](std::size_t o) { return scores.score(request, o); });
+}
+
+std::vector<std::size_t> best_offers_from_row(std::size_t request, const MarketSnapshot& snapshot,
+                                              std::span<const double> row,
+                                              const AuctionConfig& config) {
+  DECLOUD_EXPECTS(row.size() == snapshot.offers.size());
+  return best_offers_impl(snapshot.requests[request], snapshot, config,
+                          [&](std::size_t o) { return row[o]; });
+}
+
+std::vector<std::size_t> best_offers_reference(const Request& r, const MarketSnapshot& snapshot,
+                                               const BlockScale& scale,
+                                               const AuctionConfig& config) {
   struct Ranked {
     std::size_t offer;
     double q;
   };
   std::vector<Ranked> ranked;
+  ranked.reserve(snapshot.offers.size());
   for (std::size_t o = 0; o < snapshot.offers.size(); ++o) {
     const Offer& offer = snapshot.offers[o];
     if (!feasible(offer, r, config)) continue;
-    const double q = score(o);
+    const double q = quality_of_match(r, offer, scale);
     if (q <= 0.0) continue;  // no common resource type: never ranked
     ranked.push_back({o, q});
   }
@@ -58,20 +100,6 @@ std::vector<std::size_t> best_offers_impl(const Request& r, const MarketSnapshot
   }
   std::sort(best.begin(), best.end());
   return best;
-}
-
-}  // namespace
-
-std::vector<std::size_t> best_offers(const Request& r, const MarketSnapshot& snapshot,
-                                     const BlockScale& scale, const AuctionConfig& config) {
-  return best_offers_impl(r, snapshot, config,
-                          [&](std::size_t o) { return quality_of_match(r, snapshot.offers[o], scale); });
-}
-
-std::vector<std::size_t> best_offers(std::size_t request, const MarketSnapshot& snapshot,
-                                     const ScoreMatrix& scores, const AuctionConfig& config) {
-  return best_offers_impl(snapshot.requests[request], snapshot, config,
-                          [&](std::size_t o) { return scores.score(request, o); });
 }
 
 namespace {
@@ -163,9 +191,27 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
     std::optional<ThreadPool> pool;
     if (workers > 1 && snapshot.requests.size() >= kMinParallelRequests) pool.emplace(workers);
 
-    run_chunked(pool ? &*pool : nullptr, 0, snapshot.requests.size(), [&](std::size_t ri) {
-      best_sets[ri] = best_offers(ri, snapshot, scores, config_);
-    });
+    // Path selection (part of consensus via AuctionConfig::scoring): both
+    // paths emit byte-identical best_sets, so kAuto may pick by size alone.
+    const bool use_pruned =
+        config_.scoring == ScoringPath::kPruned ||
+        (config_.scoring == ScoringPath::kAuto && snapshot.offers.size() >= kMinPrunedOffers);
+    if (use_pruned) {
+      const CandidateIndex index(snapshot, scale, scores);
+      run_chunked(pool ? &*pool : nullptr, 0, snapshot.requests.size(), [&](std::size_t ri) {
+        // One scratch per worker thread: the hot loop never allocates after
+        // its first few requests, and workers share no mutable state.
+        thread_local CandidateIndex::Scratch scratch;
+        best_sets[ri] = index.best_offers(ri, snapshot, scores, config_, scratch);
+      });
+    } else {
+      run_chunked(pool ? &*pool : nullptr, 0, snapshot.requests.size(), [&](std::size_t ri) {
+        thread_local std::vector<double> row;
+        row.resize(scores.offers());
+        scores.score_row(ri, row);
+        best_sets[ri] = best_offers_from_row(ri, snapshot, row, config_);
+      });
+    }
   }
 
   ClusterSet cluster_set;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "auction/allocation.hpp"
@@ -46,12 +47,29 @@ inline constexpr std::size_t kMinParallelRequests = 32;
                                                    const BlockScale& scale,
                                                    const AuctionConfig& config);
 
-/// Same ranking over a precomputed dense ScoreMatrix — the hot path of
-/// DeCloudAuction::run.  Bit-identical to the sparse overload.
+/// Same ranking over a precomputed dense ScoreMatrix.  Bit-identical to
+/// the sparse overload.
 [[nodiscard]] std::vector<std::size_t> best_offers(std::size_t request,
                                                    const MarketSnapshot& snapshot,
                                                    const ScoreMatrix& scores,
                                                    const AuctionConfig& config);
+
+/// Same ranking over a precomputed score row (ScoreMatrix::score_row) —
+/// the dense hot path of DeCloudAuction::run.  `row[o]` must equal
+/// q_(request, o); bit-identical to the other overloads.
+[[nodiscard]] std::vector<std::size_t> best_offers_from_row(std::size_t request,
+                                                            const MarketSnapshot& snapshot,
+                                                            std::span<const double> row,
+                                                            const AuctionConfig& config);
+
+/// The pre-top-k reference oracle: collects EVERY feasible positive-QoM
+/// offer, fully sorts by (q desc, submitted asc, id asc) and takes the
+/// thresholded prefix.  Kept only so tests can check the bounded top-k
+/// selection (and the pruned index) against first principles.
+[[nodiscard]] std::vector<std::size_t> best_offers_reference(const Request& r,
+                                                             const MarketSnapshot& snapshot,
+                                                             const BlockScale& scale,
+                                                             const AuctionConfig& config);
 
 /// The auction mechanism.  Stateless apart from configuration; safe to
 /// share across threads for concurrent independent rounds.

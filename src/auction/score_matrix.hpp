@@ -15,9 +15,27 @@
 // sparse intersection walk — is bit-identical to quality_of_match.  The
 // ledger's collective verification replays allocations, so bit-identity is
 // mandatory, not an optimization nicety (Section III).
+//
+// Throughput layout (this file's hot path, DESIGN.md §3g): alongside the
+// row-major offer matrix the constructor also stores its k-major transpose
+// (one contiguous column of length O per resource id).  score_row() then
+// scores one request against EVERY offer by sweeping panels of offers with
+// the resource id as the outer loop:
+//
+//   for each k with σmask_r[k] ≠ 0 (ascending):          // sparse over k
+//     for each offer o in the panel:                     // dense over o
+//       acc[o] += σmask_r[k] · col_k[o] / ((col_k[o] − ρ'_r[k])² + 1)
+//
+// Each acc[o] still accumulates its terms in ascending-k order — the same
+// left fold as score() and the sparse walk, because the skipped σ = 0 rows
+// contribute exactly +0.0 to a non-negative running sum — so the result is
+// bit-identical while the inner loop is contiguous, branch-free, and free
+// of cross-lane reductions (each lane owns one accumulator), i.e.
+// autovectorizable without reassociating any floating-point sum.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "auction/bid.hpp"
@@ -35,14 +53,53 @@ class ScoreMatrix {
   /// q_(r,o) — bit-identical to quality_of_match(requests[r], offers[o], scale).
   [[nodiscard]] double score(std::size_t request, std::size_t offer) const;
 
+  /// Scores `request` against every offer into `out` (size = offers())
+  /// via the tiled k-major kernel above.  out[o] is bit-identical to
+  /// score(request, o) for every o.
+  void score_row(std::size_t request, std::span<double> out) const;
+
+  /// q_(r,o) computed by walking only the request's declared types
+  /// (ascending) against the offer's dense row — the pruned path's
+  /// per-candidate scorer.  Bit-identical to score(request, offer): the
+  /// skipped σ = 0 columns contribute exactly +0.0 to a non-negative
+  /// left-fold, and the visited ones appear in the same ascending order.
+  [[nodiscard]] double score_sparse(std::size_t request, std::size_t offer) const;
+
   /// Row width: one column per resource id observed in the block.
   [[nodiscard]] std::size_t width() const { return width_; }
 
+  [[nodiscard]] std::size_t requests() const { return num_requests_; }
+  [[nodiscard]] std::size_t offers() const { return num_offers_; }
+
+  /// Dense per-bidder rows (length width()): ρ'_r, σmask_r, ρ'_o.  The
+  /// candidate index reads these to build its bounds and masks.
+  [[nodiscard]] const double* request_norm_row(std::size_t r) const {
+    return req_norm_.data() + r * width_;
+  }
+  [[nodiscard]] const double* request_sig_row(std::size_t r) const {
+    return req_sig_.data() + r * width_;
+  }
+  [[nodiscard]] const double* offer_norm_row(std::size_t o) const {
+    return off_norm_.data() + o * width_;
+  }
+
+  /// The request's declared resource ids, ascending — the non-zero columns
+  /// of request_sig_row (σ ∈ (0, 1] for every declared type).
+  [[nodiscard]] std::span<const ResourceId> request_types(std::size_t r) const {
+    return {req_types_.data() + req_types_offset_[r],
+            req_types_offset_[r + 1] - req_types_offset_[r]};
+  }
+
  private:
   std::size_t width_ = 0;
-  std::vector<double> req_norm_;  // R×W: ρ'_r, 0 for undeclared types
-  std::vector<double> req_sig_;   // R×W: σ_r masked by declaration
-  std::vector<double> off_norm_;  // O×W: ρ'_o, 0 for undeclared types
+  std::size_t num_requests_ = 0;
+  std::size_t num_offers_ = 0;
+  std::vector<double> req_norm_;    // R×W: ρ'_r, 0 for undeclared types
+  std::vector<double> req_sig_;     // R×W: σ_r masked by declaration
+  std::vector<double> off_norm_;    // O×W: ρ'_o, 0 for undeclared types
+  std::vector<double> off_norm_t_;  // W×O: the k-major transpose of off_norm_
+  std::vector<ResourceId> req_types_;          // concatenated declared ids
+  std::vector<std::size_t> req_types_offset_;  // R+1 offsets into req_types_
 };
 
 }  // namespace decloud::auction

@@ -26,6 +26,9 @@
 //   --fault-seed N      seed of the fault coin flips (default 1)
 //   --retry-attempts N  ingest retry budget for refused submissions
 //                       (default 0 = rejections are final)
+//   --scoring MODE      matching scoring path: auto | dense | pruned
+//                       (default auto; both paths are byte-identical,
+//                       DESIGN.md §3g)
 //
 // A fault plan does not break determinism: the same plan + seed yields
 // byte-identical exports at any --threads value (the CI chaos job diffs
@@ -38,6 +41,7 @@
 #include <cstring>
 #include <string>
 
+#include "auction/config.hpp"
 #include "engine/driver.hpp"
 #include "engine/engine.hpp"
 #include "engine/epoch_scheduler.hpp"
@@ -81,6 +85,7 @@ int main(int argc, char** argv) {
   const char* fault_plan = nullptr;
   std::uint64_t fault_seed = 1;
   std::size_t retry_attempts = 0;
+  auction::ScoringPath scoring = auction::ScoringPath::kAuto;
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -116,12 +121,25 @@ int main(int argc, char** argv) {
       fault_seed = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--retry-attempts") == 0) {
       retry_attempts = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--scoring") == 0) {
+      const char* mode = next();
+      if (std::strcmp(mode, "auto") == 0) {
+        scoring = auction::ScoringPath::kAuto;
+      } else if (std::strcmp(mode, "dense") == 0) {
+        scoring = auction::ScoringPath::kDense;
+      } else if (std::strcmp(mode, "pruned") == 0) {
+        scoring = auction::ScoringPath::kPruned;
+      } else {
+        std::fprintf(stderr, "engine_driver: --scoring must be auto, dense or pruned\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--shards N] [--threads N] [--requests N] [--offers N]\n"
                    "          [--bids-per-epoch N] [--seed N] [--metrics-out PATH]\n"
                    "          [--prom-out PATH] [--trace-out PATH] [--wallclock]\n"
-                   "          [--fault-plan SPEC] [--fault-seed N] [--retry-attempts N]\n",
+                   "          [--fault-plan SPEC] [--fault-seed N] [--retry-attempts N]\n"
+                   "          [--scoring auto|dense|pruned]\n",
                    argv[0]);
       return 2;
     }
@@ -141,6 +159,7 @@ int main(int argc, char** argv) {
   config.market.consensus.difficulty_bits = 8;  // simulation-scale PoW
   config.market.num_verifiers = 1;
   config.market.consensus.auction.threads = 1;  // parallelism across shards
+  config.market.consensus.auction.scoring = scoring;
   // Byzantine tolerance is on for the driver: a dishonest-vote fault
   // costs one re-mine, not the whole round's bids.
   config.market.consensus.max_remine_attempts = 1;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "auction/mechanism.hpp"
+#include "common/thread_pool.hpp"
 #include "test_helpers.hpp"
 #include "trace/workload.hpp"
 
@@ -48,13 +49,16 @@ MarketSnapshot random_market(std::size_t requests, std::size_t offers, std::uint
 }
 
 void expect_thread_invariant(const MarketSnapshot& snapshot, const std::string& label,
-                             bool truthful = true) {
+                             bool truthful = true,
+                             ScoringPath scoring = ScoringPath::kAuto) {
   for (const std::uint64_t seed : {1u, 99u, 123456u}) {
     AuctionConfig serial;
     serial.threads = 1;
     serial.truthful = truthful;
+    serial.scoring = scoring;
     const RoundResult base = DeCloudAuction(serial).run(snapshot, seed);
-    for (const std::size_t threads : {2u, 8u}) {
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8},
+                                      ThreadPool::default_workers()}) {
       AuctionConfig cfg = serial;
       cfg.threads = threads;
       const RoundResult got = DeCloudAuction(cfg).run(snapshot, seed);
@@ -91,6 +95,33 @@ TEST(ParallelDeterminismTest, ImbalancedMarketExercisesLottery) {
 
 TEST(ParallelDeterminismTest, NonTruthfulBenchmarkPath) {
   expect_thread_invariant(random_market(64, 32, 5), "benchmark", /*truthful=*/false);
+}
+
+TEST(ParallelDeterminismTest, PrunedPathThreadInvariant) {
+  // The index-pruned scoring path must be as thread-invariant as the dense
+  // one: its scan order and early-termination tests depend only on
+  // snapshot data, never on worker scheduling (DESIGN.md §3g).
+  expect_thread_invariant(random_market(200, 100, 3), "pruned", /*truthful=*/true,
+                          ScoringPath::kPruned);
+  expect_thread_invariant(random_market(96, 8, 4), "pruned-imbalanced", /*truthful=*/true,
+                          ScoringPath::kPruned);
+}
+
+TEST(ParallelDeterminismTest, ForcedPathsAgree) {
+  // kDense and kPruned are interchangeable consensus-wise: byte-identical
+  // RoundResults on the same snapshot and seed.
+  const auto snapshot = random_market(120, 90, 9);
+  for (const std::uint64_t seed : {5u, 77u}) {
+    AuctionConfig dense;
+    dense.threads = 1;
+    dense.scoring = ScoringPath::kDense;
+    AuctionConfig pruned;
+    pruned.threads = 1;
+    pruned.scoring = ScoringPath::kPruned;
+    expect_identical(DeCloudAuction(dense).run(snapshot, seed),
+                     DeCloudAuction(pruned).run(snapshot, seed),
+                     "paths seed=" + std::to_string(seed));
+  }
 }
 
 TEST(ParallelDeterminismTest, DefaultThreadsMatchesSerial) {

@@ -104,6 +104,10 @@ struct EntryPoint {
 
 constexpr EntryPoint kEntryPoints[] = {
     {"src/auction/mechanism.cpp", "DeCloudAuction::run"},
+    {"src/auction/mechanism.cpp", "best_offers_from_row"},
+    {"src/auction/score_matrix.cpp", "ScoreMatrix::score_row"},
+    {"src/auction/candidate_index.cpp", "CandidateIndex::CandidateIndex"},
+    {"src/auction/candidate_index.cpp", "CandidateIndex::best_offers"},
     {"src/auction/pricing.cpp", "price_cluster"},
     {"src/auction/trade_reduction.cpp", "determine_price"},
     {"src/auction/miniauction.cpp", "select_roots"},

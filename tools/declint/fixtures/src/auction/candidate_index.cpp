@@ -1,0 +1,26 @@
+// Seeded violation fixture for the candidate-index entry points.  This
+// file is NOT compiled; it exists so `declint --root tools/declint/fixtures
+// src` keeps failing if the kEntryPoints rows for the pruning index rot
+// (ctest WILL_FAIL covers the whole fixture tree).
+#include <cstddef>
+#include <vector>
+
+namespace decloud::auction {
+
+struct MarketSnapshot {};
+
+struct CandidateIndex {
+  explicit CandidateIndex(const MarketSnapshot& snapshot);
+  std::vector<std::size_t> best_offers(std::size_t request) const;
+};
+
+// entry-ensure: the index constructor swallows a mismatched snapshot
+// silently instead of DECLOUD_EXPECTS-ing at the boundary.
+CandidateIndex::CandidateIndex(const MarketSnapshot& snapshot) { (void)snapshot; }
+
+// entry-ensure: the pruned query has no precondition check either.
+std::vector<std::size_t> CandidateIndex::best_offers(std::size_t request) const {
+  return {request};
+}
+
+}  // namespace decloud::auction
