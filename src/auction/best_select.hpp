@@ -52,11 +52,13 @@ class BestOfferSelector {
     if (capacity_ == 0) return;
     const Entry e{o, q};
     if (full() && !ranks_before(e, held_.back())) return;
-    // Insertion point: first held entry that e outranks.
-    auto it = held_.begin();
-    while (it != held_.end() && !ranks_before(e, *it)) ++it;
+    // Insertion point: first held entry that e outranks.  Track it as an
+    // index, not an iterator — pop_back invalidates end-adjacent
+    // iterators, and the insertion slot can be exactly the popped one.
+    std::size_t pos = 0;
+    while (pos < held_.size() && !ranks_before(e, held_[pos])) ++pos;
     if (full()) held_.pop_back();
-    held_.insert(it, e);
+    held_.insert(held_.begin() + pos, e);
   }
 
   /// Applies the admission threshold (q ≥ ratio · top_q, a prefix of the

@@ -86,14 +86,19 @@ CandidateIndex::CandidateIndex(const MarketSnapshot& snapshot, const BlockScale&
   }
 
   // Tie-group ranks (structural fact 4): offers identical in
-  // (window_start, window_end, normalized row) are exact ties for every
-  // request, ordered among themselves only by the selector's own
-  // (submitted, id) tie-break.  Sort by (key, submitted, id), then rank
-  // within each equal-key run.
+  // (window_start, window_end, min_reputation, normalized row) are exact
+  // ties for every request, ordered among themselves only by the
+  // selector's own (submitted, id) tie-break.  min_reputation is part of
+  // the key because feasible() gates on it: offers equal in window and
+  // resources but with different reputation thresholds can give DIFFERENT
+  // feasibility verdicts for the same request, so they are not
+  // interchangeable.  Sort by (key, submitted, id), then rank within each
+  // equal-key run.
   const auto same_group = [&](std::size_t a, std::size_t b) {
     const Offer& oa = snapshot.offers[a];
     const Offer& ob = snapshot.offers[b];
     if (oa.window_start != ob.window_start || oa.window_end != ob.window_end) return false;
+    if (oa.min_reputation != ob.min_reputation) return false;
     const double* ra = scores.offer_norm_row(a);
     const double* rb = scores.offer_norm_row(b);
     for (std::size_t k = 0; k < width_; ++k) {
@@ -108,6 +113,7 @@ CandidateIndex::CandidateIndex(const MarketSnapshot& snapshot, const BlockScale&
     const Offer& ob = snapshot.offers[b];
     if (oa.window_start != ob.window_start) return oa.window_start < ob.window_start;
     if (oa.window_end != ob.window_end) return oa.window_end < ob.window_end;
+    if (oa.min_reputation != ob.min_reputation) return oa.min_reputation < ob.min_reputation;
     const double* ra = scores.offer_norm_row(a);
     const double* rb = scores.offer_norm_row(b);
     for (std::size_t k = 0; k < width_; ++k) {
@@ -247,7 +253,6 @@ std::vector<std::size_t> CandidateIndex::best_offers(std::size_t request,
           acc[i] += sk * col[i] / (d * d + 1.0);
         }
       }
-      scratch.scanned += n;
       for (std::size_t i = 0; i < n; ++i) {
         const double q = acc[i];
         if (q <= 0.0) continue;  // no common resource type: never ranked
@@ -267,7 +272,6 @@ std::vector<std::size_t> CandidateIndex::best_offers(std::size_t request,
       const double q = scores.score_sparse(request, o);
       if (q <= 0.0) continue;
       selector.consider(o, q);
-      ++scratch.scanned;
     }
   }
   return selector.finish(config.best_offer_ratio);

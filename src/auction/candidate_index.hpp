@@ -31,12 +31,13 @@
 //      and q are ascending-k left folds of term-wise dominating
 //      sequences, and IEEE-754 rounding is monotone.
 //
-//   4. TIE-GROUP DEDUP — offers identical in (window, normalized resource
-//      row) are exact ties: equal q against EVERY request (q is a function
-//      of the normalized rows only), identical feasibility verdicts
-//      (feasible() reads only window and amounts, and equal normalized
-//      rows imply equal amounts under the shared BlockScale), so they rank
-//      among themselves purely by (submitted, id) — the selector's own
+//   4. TIE-GROUP DEDUP — offers identical in (window, min_reputation,
+//      normalized resource row) are exact ties: equal q against EVERY
+//      request (q is a function of the normalized rows only), identical
+//      feasibility verdicts (feasible() reads only window, the reputation
+//      threshold and amounts, and equal normalized rows imply equal
+//      amounts under the shared BlockScale), so they rank among
+//      themselves purely by (submitted, id) — the selector's own
 //      tie-break.  Catalog-shaped markets (the EC2 workload has four
 //      instance profiles and one availability window) collapse to a
 //      handful of such groups, and only the first max_best_offers members
@@ -102,9 +103,6 @@ class CandidateIndex {
     };
     std::vector<Active> active;  // activated cells, (bound desc, cell asc)
     std::vector<double> acc;     // block accumulator panel
-    /// Offers actually scored by the blockwise kernel — the bench's
-    /// pruning-effectiveness stat.
-    std::size_t scanned = 0;
   };
 
   /// The pruned best-offer query: bit-identical to the dense

@@ -59,7 +59,9 @@ MarketSnapshot random_snapshot(std::uint64_t seed, std::size_t num_requests,
     b.window(ws, ws + len);
     b.duration(static_cast<Seconds>(rng.uniform_int(50, len)));
     b.bid(rng.uniform(0.1, 5.0));
-    s.requests.push_back(b.build());
+    Request r = b.build();
+    if (rng.bernoulli(0.5)) r.reputation = rng.uniform(0.0, 1.0);
+    s.requests.push_back(r);
   }
 
   s.offers.reserve(num_offers);
@@ -74,7 +76,9 @@ MarketSnapshot random_snapshot(std::uint64_t seed, std::size_t num_requests,
     const Time len = static_cast<Time>(rng.uniform_int(500, 8000));
     b.window(ws, ws + len);
     b.bid(rng.uniform(0.1, 5.0));
-    s.offers.push_back(b.build());
+    Offer o = b.build();
+    if (rng.bernoulli(0.3)) o.min_reputation = rng.uniform(0.0, 1.0);
+    s.offers.push_back(o);
   }
   return s;
 }
@@ -220,6 +224,51 @@ TEST(PrunedScoringTest, TieGroupDedupIsExact) {
           << "cap=" << cap << " r=" << r;
     }
   }
+}
+
+TEST(PrunedScoringTest, TieGroupKeyIncludesMinReputation) {
+  // Regression: offers identical in (window, resources) but with DIFFERENT
+  // min_reputation gates give different feasibility verdicts, so they must
+  // NOT share a tie group.  With a key that ignores the gate, a catalog of
+  // > kGroupCap such offers puts the later members in the overflow list —
+  // never scanned under the default cap — and a low-reputation request
+  // silently loses its only feasible offers, diverging from the dense path.
+  MarketSnapshot s;
+  for (std::size_t i = 0; i < 8; ++i) {
+    Request r = RequestBuilder(i).build();
+    r.reputation = (i % 2 == 0) ? 0.5 : 1.0;  // half rejected by the gate
+    s.requests.push_back(r);
+  }
+  // One catalog profile, one window, 2 × 20 offers (each reputation
+  // subgroup larger than kGroupCap).  The 20 gated offers come FIRST in
+  // (submitted, id) order, so a reputation-blind key would fill every
+  // kGroupCap scan slot with offers a reputation-0.5 request can never use.
+  for (std::size_t i = 0; i < 40; ++i) {
+    Offer o = OfferBuilder(i).build();  // submitted = id by default
+    o.min_reputation = i < 20 ? 0.8 : 0.0;
+    s.offers.push_back(o);
+  }
+
+  const BlockScale scale(s.requests, s.offers);
+  const ScoreMatrix scores(s, scale);
+  const CandidateIndex index(s, scale, scores);
+  CandidateIndex::Scratch scratch;
+  for (const std::size_t cap : {std::size_t{1}, std::size_t{4},
+                                CandidateIndex::kGroupCap + 2}) {
+    AuctionConfig cfg;
+    cfg.max_best_offers = cap;
+    for (std::size_t r = 0; r < s.requests.size(); ++r) {
+      ASSERT_EQ(best_offers_reference(s.requests[r], s, scale, cfg),
+                index.best_offers(r, s, scores, cfg, scratch))
+          << "cap=" << cap << " r=" << r;
+    }
+  }
+  // Sanity on the scenario itself: under the default cap a gated request's
+  // best set is the four earliest UNGATED offers — non-empty, and none of
+  // the high-threshold catalog entries.
+  const AuctionConfig cfg;
+  EXPECT_EQ((std::vector<std::size_t>{20, 21, 22, 23}),
+            index.best_offers(0, s, scores, cfg, scratch));
 }
 
 // --- Bounded top-k tie-break regression (the (q, submitted, id) order the
