@@ -7,13 +7,18 @@
 // perf_smoke tracks the intra-round pipeline.
 //
 // Usage: engine_throughput [--rounds N] [--shards a,b,c] [--threads a,b,c]
-//                          [--requests N]
+//                          [--requests N] [--mode batch|stream|both]
 //   --rounds    timing repetitions per entry; the MINIMUM time (max
 //               bids/sec) is reported (default 3)
 //   --shards    comma-separated shard counts (default "1,4,16")
 //   --threads   comma-separated scheduler thread counts
 //               (default "1,<hardware_concurrency>")
 //   --requests  workload size; offers are requests/2 (default 2048)
+//   --mode      "batch" drives epochs in bulk batches, "stream" feeds the
+//               continuous market bid-by-bid with the micro-epoch trigger
+//               on the same boundary (so the work content is identical and
+//               the delta is pure ingest/trigger overhead), "both" times
+//               the two side by side (default "batch")
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +30,8 @@
 #include "engine/engine.hpp"
 #include "engine/epoch_scheduler.hpp"
 #include "obs/clock.hpp"
+#include "stream/stream_driver.hpp"
+#include "stream/streaming_market.hpp"
 
 namespace {
 
@@ -60,6 +67,7 @@ engine::EngineConfig engine_config(std::size_t shards) {
 }
 
 struct Entry {
+  const char* mode;
   std::size_t shards;
   std::size_t threads;
   std::size_t bids;
@@ -74,6 +82,7 @@ struct Entry {
 int main(int argc, char** argv) {
   int rounds = 3;
   std::size_t num_requests = 2048;
+  std::string mode = "batch";
   std::vector<std::size_t> shard_counts = {1, 4, 16};
   std::vector<std::size_t> thread_counts = {1, ThreadPool::default_workers()};
   for (int i = 1; i < argc; ++i) {
@@ -85,9 +94,16 @@ int main(int argc, char** argv) {
       thread_counts = parse_counts(argv[++i]);
     } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       num_requests = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      mode = argv[++i];
+      if (mode != "batch" && mode != "stream" && mode != "both") {
+        std::fprintf(stderr, "--mode must be batch, stream, or both\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--rounds N] [--shards a,b,c] [--threads a,b,c] [--requests N]\n",
+                   "usage: %s [--rounds N] [--shards a,b,c] [--threads a,b,c] [--requests N] "
+                   "[--mode batch|stream|both]\n",
                    argv[0]);
       return 2;
     }
@@ -104,41 +120,68 @@ int main(int argc, char** argv) {
   driver.seed = 2;
 
   std::vector<Entry> entries;
+  obs::SteadyClock clock;  // the sanctioned wall-clock source (src/obs)
   for (const std::size_t shards : shard_counts) {
     for (const std::size_t threads : thread_counts) {
-      double best_ms = 1e300;
-      std::size_t allocated = 0;
-      std::size_t epochs = 0;
-      std::size_t bids = 0;
-      obs::SteadyClock clock;  // the sanctioned wall-clock source (src/obs)
-      for (int round = 0; round < rounds; ++round) {
-        engine::MarketEngine market_engine(engine_config(shards));
-        engine::EpochScheduler scheduler(market_engine, threads);
-        const std::uint64_t t0 = clock.now_ns();
-        const engine::DriveOutcome outcome = drive_trace(market_engine, scheduler, driver);
-        const std::uint64_t t1 = clock.now_ns();
-        best_ms = std::min(best_ms, static_cast<double>(t1 - t0) / 1e6);
-        allocated = outcome.report.total.requests_allocated;
-        epochs = outcome.report.epochs;
-        bids = outcome.bids_generated;
+      if (mode != "stream") {
+        double best_ms = 1e300;
+        std::size_t allocated = 0;
+        std::size_t epochs = 0;
+        std::size_t bids = 0;
+        for (int round = 0; round < rounds; ++round) {
+          engine::MarketEngine market_engine(engine_config(shards));
+          engine::EpochScheduler scheduler(market_engine, threads);
+          const std::uint64_t t0 = clock.now_ns();
+          const engine::DriveOutcome outcome = drive_trace(market_engine, scheduler, driver);
+          const std::uint64_t t1 = clock.now_ns();
+          best_ms = std::min(best_ms, static_cast<double>(t1 - t0) / 1e6);
+          allocated = outcome.report.total.requests_allocated;
+          epochs = outcome.report.epochs;
+          bids = outcome.bids_generated;
+        }
+        entries.push_back({"batch", shards, threads, bids, allocated, epochs, best_ms,
+                           static_cast<double>(bids) / (best_ms / 1000.0)});
       }
-      entries.push_back({shards, threads, bids, allocated, epochs, best_ms,
-                         static_cast<double>(bids) / (best_ms / 1000.0)});
+      if (mode != "batch") {
+        double best_ms = 1e300;
+        std::size_t allocated = 0;
+        std::size_t epochs = 0;
+        std::size_t bids = 0;
+        for (int round = 0; round < rounds; ++round) {
+          stream::StreamConfig stream_config;
+          stream_config.engine = engine_config(shards);
+          stream_config.triggers.bids = driver.bids_per_epoch;  // batch-aligned
+          stream_config.threads = threads;
+          stream_config.start_time = driver.start_time;
+          stream_config.epoch_interval = driver.epoch_interval;
+          stream_config.drain_epochs = driver.drain_epochs;
+          stream::StreamingMarket market(std::move(stream_config));
+          const std::uint64_t t0 = clock.now_ns();
+          const stream::StreamDriveOutcome outcome = drive_trace_stream(market, driver);
+          const std::uint64_t t1 = clock.now_ns();
+          best_ms = std::min(best_ms, static_cast<double>(t1 - t0) / 1e6);
+          allocated = outcome.drive.report.total.requests_allocated;
+          epochs = outcome.drive.report.epochs;
+          bids = outcome.drive.bids_generated;
+        }
+        entries.push_back({"stream", shards, threads, bids, allocated, epochs, best_ms,
+                           static_cast<double>(bids) / (best_ms / 1000.0)});
+      }
     }
   }
 
   std::printf("{\n");
-  std::printf("  \"schema\": \"decloud-engine-bench-v1\",\n");
+  std::printf("  \"schema\": \"decloud-engine-bench-v2\",\n");
   std::printf("  \"hardware_concurrency\": %zu,\n", ThreadPool::default_workers());
   std::printf("  \"rounds\": %d,\n", rounds);
   std::printf("  \"requests\": %zu,\n", num_requests);
   std::printf("  \"results\": [\n");
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
-    std::printf("    {\"bench\": \"engine_drive\", \"shards\": %zu, \"threads\": %zu, "
-                "\"bids\": %zu, \"allocated\": %zu, \"epochs\": %zu, "
+    std::printf("    {\"bench\": \"engine_drive\", \"mode\": \"%s\", \"shards\": %zu, "
+                "\"threads\": %zu, \"bids\": %zu, \"allocated\": %zu, \"epochs\": %zu, "
                 "\"ms\": %.4f, \"bids_per_sec\": %.1f}%s\n",
-                e.shards, e.threads, e.bids, e.allocated, e.epochs, e.ms, e.bids_per_sec,
+                e.mode, e.shards, e.threads, e.bids, e.allocated, e.epochs, e.ms, e.bids_per_sec,
                 i + 1 == entries.size() ? "" : ",");
   }
   std::printf("  ]\n}\n");

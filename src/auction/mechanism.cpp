@@ -147,7 +147,7 @@ void record_round(obs::MetricsSink* sink, const MarketSnapshot& snapshot,
 }  // namespace
 
 RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t seed,
-                                obs::MetricsSink* sink) const {
+                                obs::MetricsSink* sink, CandidateIndexCache* cache) const {
   for (const auto& r : snapshot.requests) validate(r);
   for (const auto& o : snapshot.offers) validate(o);
 
@@ -196,7 +196,26 @@ RoundResult DeCloudAuction::run(const MarketSnapshot& snapshot, std::uint64_t se
     const bool use_pruned =
         config_.scoring == ScoringPath::kPruned ||
         (config_.scoring == ScoringPath::kAuto && snapshot.offers.size() >= kMinPrunedOffers);
-    if (use_pruned) {
+    if (use_pruned && cache != nullptr) {
+      // Cross-round reuse: prepare() carries the previous round's index
+      // when the offer book evolved slowly, rebuilding otherwise.  Either
+      // way the queries are bit-identical to a fresh build, so verifiers
+      // (which never see the cache) replay the same allocation.
+      const CandidateIndexCache::PrepareStats st =
+          cache->prepare(snapshot, scale, scores, config_);
+      if (sink != nullptr) {
+        obs::MetricsRegistry& m = sink->metrics();
+        m.counter(st.rebuilt ? "auction.index_rebuilds" : "auction.index_reuses").add(1);
+        m.counter("auction.index_carried").add(st.carried);
+        m.counter("auction.index_expired").add(st.expired);
+        m.counter("auction.index_inserted").add(st.inserted);
+      }
+      const CandidateIndexCache& idx = *cache;
+      run_chunked(pool ? &*pool : nullptr, 0, snapshot.requests.size(), [&](std::size_t ri) {
+        thread_local CandidateIndex::Scratch scratch;
+        best_sets[ri] = idx.best_offers(ri, snapshot, scores, config_, scratch);
+      });
+    } else if (use_pruned) {
       const CandidateIndex index(snapshot, scale, scores);
       run_chunked(pool ? &*pool : nullptr, 0, snapshot.requests.size(), [&](std::size_t ri) {
         // One scratch per worker thread: the hot loop never allocates after

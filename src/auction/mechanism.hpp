@@ -31,6 +31,7 @@ class MetricsSink;
 
 namespace decloud::auction {
 
+class CandidateIndexCache;
 class ScoreMatrix;
 
 /// Markets below this many requests always rank serially: spinning the
@@ -84,8 +85,14 @@ class DeCloudAuction {
   /// miniauction, trade_reduction) and round counters; a null sink makes
   /// every hook a single pointer test (DESIGN.md §3e).  The sink NEVER
   /// influences the result — instrumented and bare runs are byte-identical.
+  /// `cache`, when non-null, lets the pruned scoring path carry its
+  /// CandidateIndex across rounds instead of rebuilding (DESIGN.md §3h);
+  /// like the sink it never changes the result — cached and fresh runs
+  /// are byte-identical (tests/auction/incremental_index_test) — so a
+  /// producer running with a cache agrees with verifiers building fresh.
   [[nodiscard]] RoundResult run(const MarketSnapshot& snapshot, std::uint64_t seed,
-                                obs::MetricsSink* sink = nullptr) const;
+                                obs::MetricsSink* sink = nullptr,
+                                CandidateIndexCache* cache = nullptr) const;
 
   [[nodiscard]] const AuctionConfig& config() const { return config_; }
 

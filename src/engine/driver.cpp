@@ -24,21 +24,40 @@ void stamp_locations(auction::MarketSnapshot& snapshot, const ShardRouterConfig&
 
 }  // namespace
 
-DriveOutcome drive_trace(MarketEngine& engine, EpochScheduler& scheduler,
-                         const TraceDriverConfig& config) {
+TraceStream make_trace_stream(const TraceDriverConfig& config,
+                              const EngineConfig& engine_config) {
   DECLOUD_EXPECTS(config.located_fraction >= 0.0 && config.located_fraction <= 1.0);
 
+  TraceStream stream;
   Rng rng(config.seed);
-  auction::MarketSnapshot snapshot =
-      trace::make_workload(config.workload, engine.config().market.consensus.auction, rng);
+  stream.snapshot =
+      trace::make_workload(config.workload, engine_config.market.consensus.auction, rng);
   Rng location_rng(config.seed ^ 0x6c6f636174696f6eULL);  // "location"
-  stamp_locations(snapshot, engine.router().config(), config.located_fraction, location_rng);
-
-  DriveOutcome outcome;
-  outcome.bids_generated = snapshot.requests.size() + snapshot.offers.size();
+  stamp_locations(stream.snapshot, engine_config.router, config.located_fraction, location_rng);
 
   // Interleave requests and offers by index so every epoch's batch carries
-  // both sides of the market.
+  // both sides of the market: 0, n_req, 1, n_req+1, … — alternating while
+  // both last, computed without randomness so the stream is reproducible.
+  const std::size_t n_req = stream.snapshot.requests.size();
+  const std::size_t n_off = stream.snapshot.offers.size();
+  stream.order.resize(n_req + n_off);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < std::max(n_req, n_off); ++i) {
+    if (i < n_req) stream.order[w++] = i;
+    if (i < n_off) stream.order[w++] = n_req + i;
+  }
+  return stream;
+}
+
+DriveOutcome drive_trace(MarketEngine& engine, EpochScheduler& scheduler,
+                         const TraceDriverConfig& config) {
+  const TraceStream stream = make_trace_stream(config, engine.config());
+  const auction::MarketSnapshot& snapshot = stream.snapshot;
+  const std::vector<std::size_t>& order = stream.order;
+
+  DriveOutcome outcome;
+  outcome.bids_generated = order.size();
+
   const auto submit_one = [&](std::size_t i) {
     const std::size_t n_req = snapshot.requests.size();
     const EngineAdmission admission = i < n_req ? engine.submit(snapshot.requests[i])
@@ -49,18 +68,6 @@ DriveOutcome drive_trace(MarketEngine& engine, EpochScheduler& scheduler,
       ++outcome.bids_rejected;
     }
   };
-  std::vector<std::size_t> order(outcome.bids_generated);
-  {
-    // 0, n_req, 1, n_req+1, … — requests and offers alternating while both
-    // last, computed without randomness so the stream is reproducible.
-    const std::size_t n_req = snapshot.requests.size();
-    const std::size_t n_off = snapshot.offers.size();
-    std::size_t w = 0;
-    for (std::size_t i = 0; i < std::max(n_req, n_off); ++i) {
-      if (i < n_req) order[w++] = i;
-      if (i < n_off) order[w++] = n_req + i;
-    }
-  }
 
   const std::size_t batch = config.bids_per_epoch == 0 ? order.size() : config.bids_per_epoch;
   Time now = config.start_time;

@@ -44,6 +44,23 @@ struct DriveOutcome {
   std::size_t bids_rejected = 0;  ///< backpressure + unroutable drops
 };
 
+/// A generated, location-stamped workload plus its deterministic
+/// submission order (`order[i] < requests.size()` names a request,
+/// otherwise offer `order[i] - requests.size()`).  The batch driver and
+/// the streaming driver (stream/stream_driver.hpp) both consume this —
+/// SAME bytes in, which is what makes batch the streaming mode's
+/// reference oracle.
+struct TraceStream {
+  auction::MarketSnapshot snapshot;
+  std::vector<std::size_t> order;
+};
+
+/// Generates the workload for `config` exactly as drive_trace does:
+/// workload from Rng(seed), locations from Rng(seed ^ "location"),
+/// requests and offers interleaved by index.
+[[nodiscard]] TraceStream make_trace_stream(const TraceDriverConfig& config,
+                                            const EngineConfig& engine_config);
+
 /// Generates the workload, streams it into `engine` batch-by-batch with
 /// one scheduler tick per batch, then drains.  Deterministic in
 /// (config, engine config, scheduler thread count — by the engine's

@@ -29,6 +29,17 @@
 //   --scoring MODE      matching scoring path: auto | dense | pruned
 //                       (default auto; both paths are byte-identical,
 //                       DESIGN.md §3g)
+//   --stream            continuous-market mode: bids stream in one at a
+//                       time and the market closes micro-epochs on its own
+//                       deterministic triggers (DESIGN.md §3h) instead of
+//                       the batch submit-then-tick loop
+//   --microepoch-bids N close a micro-epoch every N submissions (stream
+//                       mode; default = --bids-per-epoch, making the
+//                       stream close exactly on the batch epoch
+//                       boundaries — byte-identical summary to batch)
+//   --watermark K       close a micro-epoch when the stream's logical
+//                       clock advances K ticks since the last close
+//                       (stream mode; 0 = off)
 //
 // A fault plan does not break determinism: the same plan + seed yields
 // byte-identical exports at any --threads value (the CI chaos job diffs
@@ -47,6 +58,8 @@
 #include "engine/epoch_scheduler.hpp"
 #include "fault/fault.hpp"
 #include "obs/clock.hpp"
+#include "stream/stream_driver.hpp"
+#include "stream/streaming_market.hpp"
 
 namespace {
 
@@ -86,6 +99,9 @@ int main(int argc, char** argv) {
   std::uint64_t fault_seed = 1;
   std::size_t retry_attempts = 0;
   auction::ScoringPath scoring = auction::ScoringPath::kAuto;
+  bool stream_mode = false;
+  std::size_t microepoch_bids = SIZE_MAX;  // SIZE_MAX = default to bids_per_epoch
+  std::size_t watermark = 0;
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -121,6 +137,12 @@ int main(int argc, char** argv) {
       fault_seed = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--retry-attempts") == 0) {
       retry_attempts = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      stream_mode = true;
+    } else if (std::strcmp(argv[i], "--microepoch-bids") == 0) {
+      microepoch_bids = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--watermark") == 0) {
+      watermark = std::strtoul(next(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--scoring") == 0) {
       const char* mode = next();
       if (std::strcmp(mode, "auto") == 0) {
@@ -139,7 +161,8 @@ int main(int argc, char** argv) {
                    "          [--bids-per-epoch N] [--seed N] [--metrics-out PATH]\n"
                    "          [--prom-out PATH] [--trace-out PATH] [--wallclock]\n"
                    "          [--fault-plan SPEC] [--fault-seed N] [--retry-attempts N]\n"
-                   "          [--scoring auto|dense|pruned]\n",
+                   "          [--scoring auto|dense|pruned]\n"
+                   "          [--stream] [--microepoch-bids N] [--watermark K]\n",
                    argv[0]);
       return 2;
     }
@@ -182,6 +205,32 @@ int main(int argc, char** argv) {
   driver.located_fraction = 0.9;
   driver.bids_per_epoch = bids_per_epoch;
   driver.seed = seed;
+
+  if (stream_mode) {
+    stream::StreamConfig stream_config;
+    stream_config.engine = config;
+    // Default the bid-count trigger to the batch boundary so a bare
+    // `--stream` run is directly byte-comparable against batch mode.
+    stream_config.triggers.bids =
+        microepoch_bids == SIZE_MAX ? driver.bids_per_epoch : microepoch_bids;
+    stream_config.triggers.watermark = watermark;
+    stream_config.threads = threads;
+    stream_config.start_time = driver.start_time;
+    stream_config.epoch_interval = driver.epoch_interval;
+    stream_config.drain_epochs = driver.drain_epochs;
+
+    stream::StreamingMarket market(std::move(stream_config));
+    const stream::StreamDriveOutcome outcome = drive_trace_stream(market, driver);
+
+    if (metrics_out != nullptr && !write_out(metrics_out, market.metrics_json())) return 1;
+    if (prom_out != nullptr && !write_out(prom_out, market.metrics_prometheus())) return 1;
+    if (trace_out != nullptr && !write_out(trace_out, market.trace_json())) return 1;
+
+    const std::string summary = outcome.drive.report.summary_json();
+    std::fwrite(summary.data(), 1, summary.size(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
 
   engine::MarketEngine market_engine(config);
   engine::EpochScheduler scheduler(market_engine, threads);

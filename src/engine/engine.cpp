@@ -198,6 +198,7 @@ obs::MetricsSink MarketEngine::engine_summary_sink() const {
       .add(rejected_unroutable_.load(std::memory_order_relaxed));
   std::size_t backpressure = 0, spilled = 0, epochs = 0;
   std::size_t retries = 0, retry_ok = 0, retry_dropped = 0;
+  std::size_t carried = 0, offers_gone = 0;
   for (const auto& shard : shards_) {
     backpressure += shard->rejected_backpressure.load(std::memory_order_relaxed);
     spilled += shard->spilled.load(std::memory_order_relaxed);
@@ -205,6 +206,8 @@ obs::MetricsSink MarketEngine::engine_summary_sink() const {
     retries += shard->retries_scheduled.load(std::memory_order_relaxed);
     retry_ok += shard->retries_succeeded;
     retry_dropped += shard->retries_dropped;
+    carried += shard->market.stats().bids_carried;
+    offers_gone += shard->market.stats().offers_abandoned;
   }
   m.counter("engine.bids_rejected_backpressure").add(backpressure);
   m.counter("engine.bids_spilled").add(spilled);
@@ -212,17 +215,22 @@ obs::MetricsSink MarketEngine::engine_summary_sink() const {
   m.counter("engine.bids_retry_scheduled").add(retries);
   m.counter("engine.bids_retry_succeeded").add(retry_ok);
   m.counter("engine.bids_retry_dropped").add(retry_dropped);
+  m.counter("engine.bids_carried").add(carried);
+  m.counter("engine.offers_abandoned").add(offers_gone);
   m.gauge("engine.num_shards").set(static_cast<double>(shards_.size()));
   router_.annotate(m);
   return sink;
 }
 
 std::vector<const obs::MetricsSink*> MarketEngine::export_order(
-    const obs::MetricsSink* engine_sink, const obs::MetricsSink* scheduler_sink) const {
+    const obs::MetricsSink* engine_sink,
+    std::span<const obs::MetricsSink* const> extra_sinks) const {
   std::vector<const obs::MetricsSink*> sinks;
-  sinks.reserve(shards_.size() + 2);
+  sinks.reserve(shards_.size() + 1 + extra_sinks.size());
   sinks.push_back(engine_sink);
-  if (scheduler_sink != nullptr) sinks.push_back(scheduler_sink);
+  for (const obs::MetricsSink* extra : extra_sinks) {
+    if (extra != nullptr) sinks.push_back(extra);
+  }
   for (const auto& shard : shards_) {
     if (shard->sink != nullptr) sinks.push_back(shard->sink.get());
   }
@@ -230,18 +238,33 @@ std::vector<const obs::MetricsSink*> MarketEngine::export_order(
 }
 
 std::string MarketEngine::metrics_json(const obs::MetricsSink* scheduler_sink) const {
-  const obs::MetricsSink engine_sink = engine_summary_sink();
-  return obs::merged_metrics_json(export_order(&engine_sink, scheduler_sink));
+  return metrics_json(std::span<const obs::MetricsSink* const>(&scheduler_sink, 1));
 }
 
 std::string MarketEngine::metrics_prometheus(const obs::MetricsSink* scheduler_sink) const {
-  const obs::MetricsSink engine_sink = engine_summary_sink();
-  return obs::merged_metrics_prometheus(export_order(&engine_sink, scheduler_sink));
+  return metrics_prometheus(std::span<const obs::MetricsSink* const>(&scheduler_sink, 1));
 }
 
 std::string MarketEngine::trace_json(const obs::MetricsSink* scheduler_sink) const {
+  return trace_json(std::span<const obs::MetricsSink* const>(&scheduler_sink, 1));
+}
+
+std::string MarketEngine::metrics_json(
+    std::span<const obs::MetricsSink* const> extra_sinks) const {
   const obs::MetricsSink engine_sink = engine_summary_sink();
-  return obs::merged_chrome_trace(export_order(&engine_sink, scheduler_sink));
+  return obs::merged_metrics_json(export_order(&engine_sink, extra_sinks));
+}
+
+std::string MarketEngine::metrics_prometheus(
+    std::span<const obs::MetricsSink* const> extra_sinks) const {
+  const obs::MetricsSink engine_sink = engine_summary_sink();
+  return obs::merged_metrics_prometheus(export_order(&engine_sink, extra_sinks));
+}
+
+std::string MarketEngine::trace_json(
+    std::span<const obs::MetricsSink* const> extra_sinks) const {
+  const obs::MetricsSink engine_sink = engine_summary_sink();
+  return obs::merged_chrome_trace(export_order(&engine_sink, extra_sinks));
 }
 
 }  // namespace decloud::engine

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <variant>
 #include <vector>
 
@@ -147,6 +148,17 @@ class MarketEngine {
       const obs::MetricsSink* scheduler_sink = nullptr) const;
   [[nodiscard]] std::string trace_json(const obs::MetricsSink* scheduler_sink = nullptr) const;
 
+  /// Same exports with MULTIPLE extra sinks merged between the synthetic
+  /// "engine" sink and the shard sinks, in the order given (null entries
+  /// skipped).  The streaming layer uses this to interleave its "stream"
+  /// sink with the scheduler's without changing merge discipline.
+  [[nodiscard]] std::string metrics_json(
+      std::span<const obs::MetricsSink* const> extra_sinks) const;
+  [[nodiscard]] std::string metrics_prometheus(
+      std::span<const obs::MetricsSink* const> extra_sinks) const;
+  [[nodiscard]] std::string trace_json(
+      std::span<const obs::MetricsSink* const> extra_sinks) const;
+
  private:
   struct IngestItem {
     std::variant<auction::Request, auction::Offer> bid;
@@ -203,7 +215,8 @@ class MarketEngine {
   /// annotation) the exports prepend to the per-shard sinks.
   [[nodiscard]] obs::MetricsSink engine_summary_sink() const;
   [[nodiscard]] std::vector<const obs::MetricsSink*> export_order(
-      const obs::MetricsSink* engine_sink, const obs::MetricsSink* scheduler_sink) const;
+      const obs::MetricsSink* engine_sink,
+      std::span<const obs::MetricsSink* const> extra_sinks) const;
 
   EngineConfig config_;
   ShardRouter router_;

@@ -42,6 +42,10 @@ std::size_t EpochScheduler::run(std::size_t max_epochs, Time start_time,
 EngineReport EpochScheduler::report() const {
   EngineReport report = engine_.report();
   report.epochs = epochs_;
+  // Batch ticks ARE micro-epochs (degenerate ones: the whole queue drains
+  // each tick); streaming closes also run through tick(), so the equality
+  // holds in both modes and audit_report checks it.
+  report.micro_epochs = epochs_;
   if constexpr (decloud::audit::kEnabled) audit_report(report);
   return report;
 }

@@ -13,9 +13,11 @@ void append_stats(std::string& out, const ledger::MarketStats& st) {
   std::snprintf(buf, sizeof buf,
                 "{\"rounds\":%zu,\"requests_submitted\":%zu,\"requests_allocated\":%zu,"
                 "\"requests_abandoned\":%zu,\"offers_submitted\":%zu,"
+                "\"offers_abandoned\":%zu,\"bids_carried\":%zu,"
                 "\"bids_duplicate_rejected\":%zu,",
                 st.rounds, st.requests_submitted, st.requests_allocated,
-                st.requests_abandoned, st.offers_submitted, st.bids_duplicate_rejected);
+                st.requests_abandoned, st.offers_submitted, st.offers_abandoned,
+                st.bids_carried, st.bids_duplicate_rejected);
   out += buf;
   std::snprintf(buf, sizeof buf,
                 "\"agreements_denied\":%zu,\"total_welfare\":%.17g,\"total_settled\":%.17g,"
@@ -37,6 +39,8 @@ void merge_stats(ledger::MarketStats& total, const ledger::MarketStats& shard) {
   total.requests_allocated += shard.requests_allocated;
   total.requests_abandoned += shard.requests_abandoned;
   total.offers_submitted += shard.offers_submitted;
+  total.offers_abandoned += shard.offers_abandoned;
+  total.bids_carried += shard.bids_carried;
   total.bids_duplicate_rejected += shard.bids_duplicate_rejected;
   total.agreements_denied += shard.agreements_denied;
   total.total_welfare += shard.total_welfare;
@@ -92,6 +96,12 @@ void audit_report(const EngineReport& report) {
         "total requests_abandoned reconciles");
   check(remerged.offers_submitted == report.total.offers_submitted,
         "total offers_submitted reconciles");
+  check(remerged.offers_abandoned == report.total.offers_abandoned,
+        "total offers_abandoned reconciles");
+  check(remerged.bids_carried == report.total.bids_carried, "total bids_carried reconciles");
+  check(report.micro_epochs == report.epochs,
+        "every scheduler tick closes exactly one micro-epoch (batch ticks "
+        "are degenerate micro-epochs; streaming closes route through ticks)");
   check(remerged.bids_duplicate_rejected == report.total.bids_duplicate_rejected,
         "total bids_duplicate_rejected reconciles");
   check(remerged.agreements_denied == report.total.agreements_denied,
@@ -115,12 +125,12 @@ std::string EngineReport::summary_json() const {
   out.reserve(256 + shards.size() * 256);
   char buf[320];
   std::snprintf(buf, sizeof buf,
-                "{\"epochs\":%zu,\"bids_rejected_backpressure\":%zu,"
+                "{\"epochs\":%zu,\"micro_epochs\":%zu,\"bids_rejected_backpressure\":%zu,"
                 "\"bids_rejected_unroutable\":%zu,\"bids_spilled\":%zu,"
                 "\"bids_retry_scheduled\":%zu,\"bids_retry_succeeded\":%zu,"
                 "\"bids_retry_dropped\":%zu,\"total\":",
-                epochs, bids_rejected_backpressure, bids_rejected_unroutable, bids_spilled,
-                bids_retry_scheduled, bids_retry_succeeded, bids_retry_dropped);
+                epochs, micro_epochs, bids_rejected_backpressure, bids_rejected_unroutable,
+                bids_spilled, bids_retry_scheduled, bids_retry_succeeded, bids_retry_dropped);
   out += buf;
   append_stats(out, total);
   out += ",\"shards\":[";

@@ -58,6 +58,13 @@ struct EngineReport {
   std::size_t bids_retry_succeeded = 0;
   std::size_t bids_retry_dropped = 0;
   std::size_t epochs = 0;  ///< scheduler ticks executed
+  /// Micro-epochs closed.  In batch mode every scheduler tick is a
+  /// (degenerate) micro-epoch, so this equals `epochs`; streaming mode
+  /// counts its deterministic closes (bid-count / watermark / flush /
+  /// drain triggers, see stream/streaming_market.hpp) through the same
+  /// scheduler ticks.  Keeping the two equal is what lets an aligned
+  /// streaming run byte-match a batch run's summary_json.
+  std::size_t micro_epochs = 0;
 
   /// Canonical serialization: every field of every shard plus the totals,
   /// doubles printed with "%.17g" so equal values produce equal bytes.

@@ -10,7 +10,9 @@ namespace decloud::ledger {
 MarketOrchestrator::MarketOrchestrator(MarketConfig config)
     : config_(std::move(config)),
       protocol_(config_.consensus, config_.reputation),
-      wallet_(rng_) {}
+      wallet_(rng_) {
+  if (config_.reuse_candidate_index) protocol_.set_index_cache(&index_cache_);
+}
 
 void MarketOrchestrator::submit(const auction::Request& request) {
   auction::validate(request);
@@ -75,6 +77,9 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
   if (sink_ != nullptr) sink_->metrics().counter("market.rounds").add(1);
   if (!outcome.block_accepted) {
     // A rejected block consumes nobody's bids: re-queue everything as-is.
+    // The carry is free of retry-budget charge — the round never happened
+    // for these bids — but it still counts as residue.
+    stats_.bids_carried += in_flight_requests.size() + in_flight_offers.size();
     for (auto& pr : in_flight_requests) pending_requests_.push_back(pr);
     for (auto& po : in_flight_offers) pending_offers_.push_back(po);
     if (sink_ != nullptr) {
@@ -135,6 +140,7 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
     } else if (++pr.attempts <= config_.max_resubmissions) {
       pending_requests_.push_back(pr);  // resubmit next round
       ++resubmitted;
+      ++stats_.bids_carried;
     } else {
       ++stats_.requests_abandoned;
     }
@@ -145,6 +151,9 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
     if (++po.attempts <= config_.max_resubmissions) {
       pending_offers_.push_back(po);
       ++resubmitted;
+      ++stats_.bids_carried;
+    } else {
+      ++stats_.offers_abandoned;
     }
   }
   if (sink_ != nullptr) {
@@ -195,7 +204,10 @@ bool MarketOrchestrator::deny_agreement(ContractId id) {
       break;
     }
   }
-  if (!still_pending) pending_offers_.push_back({record.offer, record.offer_attempts});
+  if (!still_pending) {
+    pending_offers_.push_back({record.offer, record.offer_attempts});
+    ++stats_.bids_carried;  // the refund re-enters it into the residue
+  }
 
   last_round_matches_.erase(it);
   return true;

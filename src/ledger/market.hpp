@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "auction/candidate_index.hpp"
 #include "ledger/protocol.hpp"
 
 namespace decloud::ledger {
@@ -29,6 +30,12 @@ struct MarketConfig {
   std::size_t max_resubmissions = 3;
   /// Verifier miners participating each round.
   std::size_t num_verifiers = 2;
+  /// When true the producer miner carries its CandidateIndex across rounds
+  /// (auction::CandidateIndexCache) instead of rebuilding each block — the
+  /// streaming path's hot-loop saver, safe because cache hits are
+  /// bit-identical to fresh builds and verifiers always build fresh.
+  /// Thresholds live in consensus.auction.residue.
+  bool reuse_candidate_index = true;
   ConsensusParams consensus;
   ReputationConfig reputation;
 };
@@ -40,6 +47,15 @@ struct MarketStats {
   std::size_t requests_allocated = 0;
   std::size_t requests_abandoned = 0;
   std::size_t offers_submitted = 0;
+  /// Offers whose retry budget ran out before they matched (requests have
+  /// requests_abandoned; offers age out of the resubmission loop too).
+  std::size_t offers_abandoned = 0;
+  /// Bids (requests + offers) carried forward into a later round: every
+  /// re-queue from an unmatched round, a rejected block, or a denial
+  /// refund counts once.  This is the residue the streaming micro-epochs
+  /// keep alive between closes (DESIGN.md §3h); its age is bounded by
+  /// max_resubmissions.
+  std::size_t bids_carried = 0;
   /// Sealed bids the mempool refused as duplicates (double-submission,
   /// whether injected by a fault plan or a buggy client).
   std::size_t bids_duplicate_rejected = 0;
@@ -143,6 +159,9 @@ class MarketOrchestrator {
 
   MarketConfig config_;
   LedgerProtocol protocol_;
+  /// Cross-round index reuse for the producer (see MarketConfig); owned
+  /// here so its lifetime covers every round the protocol runs.
+  auction::CandidateIndexCache index_cache_;
   Rng rng_{0x6d61726b6574ULL};
   Participant wallet_;  // one custodial wallet signs for the whole market
   std::deque<PendingRequest> pending_requests_;

@@ -86,7 +86,7 @@ BlockBody Miner::compute_body(const BlockPreamble& preamble,
   }
   const auction::DeCloudAuction mechanism(params_.auction);
   const auction::RoundResult result =
-      mechanism.run(opened.snapshot, allocation_seed(preamble), sink);
+      mechanism.run(opened.snapshot, allocation_seed(preamble), sink, index_cache_);
 
   BlockBody body;
   body.revealed_keys = reveals;

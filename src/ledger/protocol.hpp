@@ -156,6 +156,14 @@ class LedgerProtocol {
     shard_ = shard;
   }
 
+  /// Attaches a cross-round CandidateIndexCache (not owned, may be null)
+  /// to the PRODUCER miner only.  Verifiers always rebuild from scratch,
+  /// so every accepted block proves the cached index answered exactly
+  /// like a fresh one (Miner::set_index_cache).
+  void set_index_cache(auction::CandidateIndexCache* cache) {
+    producer_.set_index_cache(cache);
+  }
+
   /// Attaches an observability sink (not owned, may be null).  Each round
   /// then records phase spans (pow, key_reveal, allocation, verify,
   /// append) and protocol counters; the outcome is unaffected.

@@ -1,0 +1,47 @@
+#include "stream/stream_driver.hpp"
+
+#include "common/ensure.hpp"
+
+namespace decloud::stream {
+
+StreamDriveOutcome drive_trace_stream(StreamingMarket& market,
+                                      const engine::TraceDriverConfig& config) {
+  // The market's own config governs micro-epoch timing; a driver config
+  // that disagrees would silently produce a differently-timestamped run,
+  // so refuse it outright.
+  DECLOUD_EXPECTS_MSG(config.start_time == market.config().start_time &&
+                          config.epoch_interval == market.config().epoch_interval &&
+                          config.drain_epochs == market.config().drain_epochs,
+                      "driver timing must match the StreamConfig it feeds");
+
+  const engine::TraceStream stream =
+      engine::make_trace_stream(config, market.config().engine);
+  const auction::MarketSnapshot& snapshot = stream.snapshot;
+
+  StreamDriveOutcome outcome;
+  outcome.drive.bids_generated = stream.order.size();
+  const std::size_t n_req = snapshot.requests.size();
+  for (const std::size_t i : stream.order) {
+    const StreamAdmission admission = i < n_req ? market.submit(snapshot.requests[i])
+                                                : market.submit(snapshot.offers[i - n_req]);
+    if (admission.engine.admitted()) {
+      ++outcome.drive.bids_admitted;
+    } else {
+      ++outcome.drive.bids_rejected;
+    }
+  }
+  (void)market.flush();
+  outcome.micro_epochs = market.micro_epochs();
+  outcome.drain_epochs = market.drain();
+
+  outcome.drive.report = market.report();
+  if (obs::MetricsSink* sink = market.scheduler().sink(); sink != nullptr) {
+    obs::MetricsRegistry& m = sink->metrics();
+    m.counter("driver.bids_generated").add(outcome.drive.bids_generated);
+    m.counter("driver.bids_admitted").add(outcome.drive.bids_admitted);
+    m.counter("driver.bids_rejected").add(outcome.drive.bids_rejected);
+  }
+  return outcome;
+}
+
+}  // namespace decloud::stream

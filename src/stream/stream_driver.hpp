@@ -1,0 +1,33 @@
+// Trace-driven streaming ingest — the continuous-market twin of
+// engine/driver.hpp.
+//
+// Feeds the SAME deterministic workload stream (engine::make_trace_stream:
+// same generator, same location stamping, same interleaved order) into a
+// StreamingMarket one bid at a time, letting the market's own micro-epoch
+// triggers decide when to clear, then flushes the tail and drains the
+// residue.  With `triggers.bids` equal to the batch driver's
+// bids_per_epoch (and the watermark off), every micro-epoch closes exactly
+// where a batch tick would — so the two modes' EngineReports must be
+// byte-identical, which is the streaming determinism suite's oracle.
+#pragma once
+
+#include "engine/driver.hpp"
+#include "stream/streaming_market.hpp"
+
+namespace decloud::stream {
+
+/// Outcome of one streamed run; `drive` mirrors engine::DriveOutcome so
+/// batch-vs-stream comparisons are field-for-field.
+struct StreamDriveOutcome {
+  engine::DriveOutcome drive;
+  std::size_t micro_epochs = 0;    ///< closes during the stream (incl. flush)
+  std::size_t drain_epochs = 0;    ///< residue-clearing ticks after the stream
+};
+
+/// Streams the trace for `config` into `market` bid-by-bid, flushes, and
+/// drains.  Deterministic in (config, market config); the scheduler thread
+/// count never changes the report (engine determinism contract).
+StreamDriveOutcome drive_trace_stream(StreamingMarket& market,
+                                      const engine::TraceDriverConfig& config);
+
+}  // namespace decloud::stream

@@ -1,0 +1,163 @@
+// Epoch-less continuous-market front end (DESIGN.md §3h).
+//
+// A StreamingMarket wraps a MarketEngine + EpochScheduler and replaces the
+// batch driver's submit-batch-then-tick rhythm with a continuous ingest
+// stream: producers call submit() whenever a bid arrives, and the market
+// decides FOR ITSELF when to clear, by closing a "micro-epoch" — one
+// scheduler tick over every shard — whenever a deterministic trigger
+// fires:
+//
+//   * bid-count: `triggers.bids` submissions have arrived since the last
+//     close (the continuous analogue of the batch driver's
+//     bids_per_epoch);
+//   * watermark: the stream's logical clock — one tick per submission,
+//     the same event-sequence discipline the obs tracer uses in
+//     logical-clock-only mode — has advanced `triggers.watermark` ticks
+//     since the last close.  With per-submission clocking it is the
+//     bid-count trigger under another name; callers with coarser clocks
+//     (advance_clock) use it to close on event-time progress instead.
+//
+// Wall time NEVER closes a micro-epoch: two runs that see the same
+// submission sequence close at exactly the same points no matter how fast
+// the host is, which is what makes the streaming EngineReport
+// byte-reproducible (and declint's wallclock-outside-obs rule enforceable
+// over this subsystem).  Simulated round timestamps advance by
+// epoch_interval per close, exactly like the batch scheduler's run loop —
+// so a stream whose triggers fire on the batch driver's epoch boundaries
+// produces a byte-identical EngineReport to batch mode
+// (tests/stream/stream_determinism_test).
+//
+// Unmatched bids are residue: they stay queued inside the shard markets
+// and re-enter the next micro-epoch's round automatically, with age
+// bounded by MarketConfig::max_resubmissions (EngineReport counts them in
+// total.bids_carried).  The producer-side CandidateIndexCache makes those
+// slowly-evolving offer books cheap to rescore (candidate_index.hpp).
+//
+// Threading: submit()/flush()/drain() must come from ONE thread (the
+// stream owner); the scheduler fans shard work out underneath exactly as
+// in batch mode, and the report is byte-identical for every thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engine/driver.hpp"
+#include "engine/engine.hpp"
+#include "engine/epoch_scheduler.hpp"
+
+namespace decloud::stream {
+
+using engine::EngineAdmission;
+using engine::EngineReport;
+
+/// Deterministic micro-epoch close triggers.  At least one must be
+/// non-zero; both zero means only flush()/drain() ever close (a pure
+/// manual market, useful in tests).
+struct MicroEpochTriggers {
+  /// Close after this many submissions since the last close (0 = off).
+  std::size_t bids = 0;
+  /// Close once the logical clock advanced this far since the last close
+  /// (0 = off).  Checked after the bid-count trigger, so when both would
+  /// fire on the same submission the close is attributed to bid-count.
+  std::size_t watermark = 0;
+};
+
+struct StreamConfig {
+  engine::EngineConfig engine;
+  MicroEpochTriggers triggers;
+  /// Scheduler worker threads for the shard fan-out (0 = hardware).
+  std::size_t threads = 1;
+  /// Simulated time of the first micro-epoch; subsequent closes advance
+  /// by epoch_interval — the batch driver's timestamp sequence.
+  Time start_time = 0;
+  Seconds epoch_interval = 600;
+  /// Ticks drain() may spend clearing residue after the stream ends.
+  std::size_t drain_epochs = 32;
+};
+
+/// Producer-visible outcome of one streaming submit.
+struct StreamAdmission {
+  /// The engine's admission verdict (routing, backpressure, deferral).
+  EngineAdmission engine;
+  /// True when this submission closed a micro-epoch.
+  bool closed_micro_epoch = false;
+  /// Micro-epochs closed so far (after this submission).
+  std::size_t micro_epoch = 0;
+};
+
+class StreamingMarket {
+ public:
+  explicit StreamingMarket(StreamConfig config);
+
+  /// Ingests one bid and closes a micro-epoch if a trigger fired.  Every
+  /// submission — admitted, rejected, or deferred — advances the logical
+  /// clock and counts toward the bid-count trigger: triggers must depend
+  /// only on the submission SEQUENCE, not on admission outcomes, or a
+  /// fault plan rejecting an ingest would shift every later close and the
+  /// batch alignment (whose ticks also count rejected submissions against
+  /// the batch boundary) would break.
+  StreamAdmission submit(const auction::Request& request);
+  StreamAdmission submit(const auction::Offer& offer);
+
+  /// Advances the logical clock without a submission (event-time progress
+  /// from an external source); closes a micro-epoch if the watermark
+  /// trigger fires.  Returns true on close.
+  bool advance_clock(std::uint64_t ticks = 1);
+
+  /// Closes a final micro-epoch over any submissions still pending since
+  /// the last close; a no-op (returns false) when none are — an empty
+  /// close would tick the scheduler and break batch alignment.
+  bool flush();
+
+  /// Runs up to config.drain_epochs extra micro-epochs clearing carried
+  /// residue (the batch driver's drain tail).  Returns epochs run.
+  std::size_t drain();
+
+  /// Micro-epochs closed so far (== scheduler ticks; every close is one
+  /// tick, and nothing else ticks the scheduler).
+  [[nodiscard]] std::size_t micro_epochs() const { return scheduler_.epochs(); }
+  [[nodiscard]] std::uint64_t logical_clock() const { return clock_; }
+  [[nodiscard]] std::size_t submitted() const { return submitted_; }
+
+  [[nodiscard]] engine::MarketEngine& market_engine() { return engine_; }
+  [[nodiscard]] const engine::MarketEngine& market_engine() const { return engine_; }
+  [[nodiscard]] engine::EpochScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const StreamConfig& config() const { return config_; }
+
+  /// The scheduler's report (engine totals + epoch/micro-epoch counters).
+  [[nodiscard]] EngineReport report() const { return scheduler_.report(); }
+
+  /// Observability exports with the stream's own sink ("stream":
+  /// micro_epoch spans + stream.* counters) merged after the scheduler's,
+  /// before the shard sinks.  Null sinks are skipped, so without
+  /// observability these equal the engine's own exports.
+  [[nodiscard]] std::string metrics_json() const;
+  [[nodiscard]] std::string metrics_prometheus() const;
+  [[nodiscard]] std::string trace_json() const;
+
+ private:
+  enum class CloseReason : std::uint8_t { kBidCount, kWatermark, kFlush, kDrain };
+
+  template <typename Bid>
+  StreamAdmission submit_bid(const Bid& bid);
+  /// Closes one micro-epoch NOW (one scheduler tick at the next simulated
+  /// timestamp) and attributes it to `reason` in the stream counters.
+  void close_micro_epoch(CloseReason reason);
+  /// Fires at most one close for the current trigger state.
+  [[nodiscard]] bool maybe_close();
+
+  StreamConfig config_;
+  engine::MarketEngine engine_;
+  engine::EpochScheduler scheduler_;
+  /// Stream-level sink (null unless config.engine.observability); owned
+  /// here, written only by the stream owner thread.
+  std::unique_ptr<obs::MetricsSink> sink_;
+  std::uint64_t clock_ = 0;       ///< logical clock (event ticks)
+  std::size_t submitted_ = 0;     ///< submissions seen (any admission outcome)
+  std::uint64_t closed_clock_ = 0;    ///< clock_ at the last close
+  std::size_t closed_submitted_ = 0;  ///< submitted_ at the last close
+};
+
+}  // namespace decloud::stream

@@ -1,0 +1,141 @@
+// The continuous market's headline contract (ISSUE 7, mirroring PR 6's
+// dense-vs-pruned discipline): batch mode is the streaming mode's
+// reference oracle.  A stream whose micro-epoch triggers fire on the batch
+// driver's epoch boundaries must produce a BYTE-identical EngineReport
+// summary to the batch run — same trace, same shard layout — at 1, 2 and
+// hardware scheduler threads, with and without an active fault plan.
+// summary_json prints every double %.17g, so equality here is bit
+// equality of every welfare/settlement sum in every shard.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "engine/driver.hpp"
+#include "engine/engine.hpp"
+#include "engine/epoch_scheduler.hpp"
+#include "fault/fault.hpp"
+#include "stream/stream_driver.hpp"
+#include "stream/streaming_market.hpp"
+
+namespace decloud::stream {
+namespace {
+
+constexpr std::size_t kBatch = 16;  // batch size == micro-epoch bid trigger
+
+engine::EngineConfig engine_config(std::size_t shards, const char* fault_plan) {
+  engine::EngineConfig config;
+  config.router.num_shards = shards;
+  config.router.x0 = 0.0;
+  config.router.x1 = 100.0;
+  config.router.y0 = 0.0;
+  config.router.y1 = 100.0;
+  config.market.consensus.difficulty_bits = 6;
+  config.market.num_verifiers = 1;
+  config.market.consensus.auction.threads = 1;
+  config.market.consensus.max_remine_attempts = 1;
+  if (fault_plan != nullptr) {
+    config.fault_plan = fault::FaultPlan::parse(fault_plan);
+    config.fault_seed = 3;
+  }
+  return config;
+}
+
+engine::TraceDriverConfig driver_config() {
+  engine::TraceDriverConfig driver;
+  driver.workload.num_requests = 60;
+  driver.workload.num_offers = 30;
+  driver.located_fraction = 0.8;
+  driver.bids_per_epoch = kBatch;
+  driver.seed = 7;
+  return driver;
+}
+
+std::string batch_summary(std::size_t shards, std::size_t threads, const char* fault_plan) {
+  engine::MarketEngine engine(engine_config(shards, fault_plan));
+  engine::EpochScheduler scheduler(engine, threads);
+  return drive_trace(engine, scheduler, driver_config()).report.summary_json();
+}
+
+std::string stream_summary(std::size_t shards, std::size_t threads, const char* fault_plan,
+                           std::size_t bid_trigger, std::size_t watermark) {
+  StreamConfig config;
+  config.engine = engine_config(shards, fault_plan);
+  config.triggers.bids = bid_trigger;
+  config.triggers.watermark = watermark;
+  config.threads = threads;
+  StreamingMarket market(config);
+  return drive_trace_stream(market, driver_config()).drive.report.summary_json();
+}
+
+TEST(StreamDeterminism, AlignedStreamMatchesBatchByteForByteAcrossThreads) {
+  const std::size_t hw = ThreadPool::default_workers();
+  const std::string oracle = batch_summary(4, 1, nullptr);
+  ASSERT_NE(oracle.find("\"micro_epochs\""), std::string::npos);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, hw}) {
+    EXPECT_EQ(batch_summary(4, threads, nullptr), oracle) << "batch threads=" << threads;
+    // Bid-count trigger on the batch boundary.
+    EXPECT_EQ(stream_summary(4, threads, nullptr, kBatch, 0), oracle)
+        << "stream(bids) threads=" << threads;
+    // Watermark trigger: the stream clocks one tick per submission, so a
+    // watermark of kBatch closes on the same boundaries.
+    EXPECT_EQ(stream_summary(4, threads, nullptr, 0, kBatch), oracle)
+        << "stream(watermark) threads=" << threads;
+  }
+}
+
+TEST(StreamDeterminism, ChaosAlignedStreamMatchesBatchByteForByte) {
+  // Faults exercised mid-stream: ingest rejections (site = per-shard
+  // ingest sequence, identical across modes because both count every
+  // submission), withheld reveals, dishonest votes and client denials
+  // inside the shard rounds.  The plan is deterministic, so batch and
+  // aligned streaming still agree byte-for-byte.
+  static constexpr const char* kPlan =
+      "reject_ingest:p=0.1;withhold_reveal:p=0.2;dishonest_vote:p=0.25;deny_agreement:p=0.2";
+  const std::size_t hw = ThreadPool::default_workers();
+  const std::string oracle = batch_summary(4, 1, kPlan);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, hw}) {
+    EXPECT_EQ(batch_summary(4, threads, kPlan), oracle) << "batch threads=" << threads;
+    EXPECT_EQ(stream_summary(4, threads, kPlan, kBatch, 0), oracle)
+        << "stream threads=" << threads;
+  }
+  // The chaos run really was chaotic — otherwise this test degrades into
+  // the clean variant silently.
+  EXPECT_NE(oracle, batch_summary(4, 1, nullptr));
+}
+
+TEST(StreamDeterminism, StreamIsSelfConsistentForAnyTriggerConfig) {
+  // Unaligned triggers legitimately differ from batch, but the SAME
+  // trigger config must reproduce exactly at every thread count.
+  const std::size_t hw = ThreadPool::default_workers();
+  for (const auto& [bids, watermark] : {std::pair<std::size_t, std::size_t>{7, 0},
+                                        {0, 11},
+                                        {5, 13}}) {
+    const std::string baseline = stream_summary(3, 1, nullptr, bids, watermark);
+    for (const std::size_t threads : {std::size_t{2}, hw}) {
+      EXPECT_EQ(stream_summary(3, threads, nullptr, bids, watermark), baseline)
+          << "bids=" << bids << " watermark=" << watermark << " threads=" << threads;
+    }
+  }
+}
+
+TEST(StreamDeterminism, SingleBatchStreamFlushMatchesBatchMode) {
+  // bids_per_epoch = 0 batch mode submits everything then ticks once; the
+  // stream analogue closes nothing until flush().  Byte-identical too.
+  engine::TraceDriverConfig driver = driver_config();
+  driver.bids_per_epoch = 0;
+
+  engine::MarketEngine engine(engine_config(2, nullptr));
+  engine::EpochScheduler scheduler(engine, 1);
+  const std::string oracle = drive_trace(engine, scheduler, driver).report.summary_json();
+
+  StreamConfig config;
+  config.engine = engine_config(2, nullptr);
+  config.triggers.bids = 0;
+  config.triggers.watermark = 0;
+  StreamingMarket market(config);
+  EXPECT_EQ(drive_trace_stream(market, driver).drive.report.summary_json(), oracle);
+}
+
+}  // namespace
+}  // namespace decloud::stream

@@ -65,7 +65,7 @@ constexpr Rule kRules[] = {
      "seed a decloud::Rng from the block evidence (common/rng.hpp) instead"},
     {"unordered-iter",
      "iterating an unordered container in a deterministic module (src/auction, src/engine, "
-     "src/ledger): hash order is not stable across platforms or runs",
+     "src/ledger, src/stream): hash order is not stable across platforms or runs",
      "iterate a sorted key vector, or switch the container to std::map/std::vector"},
     {"float-reduce",
      "std::reduce / std::transform_reduce over money or welfare in economics code: "
@@ -108,6 +108,8 @@ constexpr EntryPoint kEntryPoints[] = {
     {"src/auction/score_matrix.cpp", "ScoreMatrix::score_row"},
     {"src/auction/candidate_index.cpp", "CandidateIndex::CandidateIndex"},
     {"src/auction/candidate_index.cpp", "CandidateIndex::best_offers"},
+    {"src/auction/candidate_index.cpp", "CandidateIndexCache::prepare"},
+    {"src/auction/candidate_index.cpp", "CandidateIndexCache::best_offers"},
     {"src/auction/pricing.cpp", "price_cluster"},
     {"src/auction/trade_reduction.cpp", "determine_price"},
     {"src/auction/miniauction.cpp", "select_roots"},
@@ -127,6 +129,9 @@ constexpr EntryPoint kEntryPoints[] = {
     {"src/ledger/protocol.cpp", "LedgerProtocol::run_round"},
     {"src/fault/fault.cpp", "FaultPlan::parse"},
     {"src/fault/injector.cpp", "FaultInjector::fires"},
+    {"src/stream/streaming_market.cpp", "StreamingMarket::submit"},
+    {"src/stream/streaming_market.cpp", "StreamingMarket::close_micro_epoch"},
+    {"src/stream/stream_driver.cpp", "drive_trace_stream"},
 };
 
 // ---------------------------------------------------------------------------
@@ -329,7 +334,8 @@ bool path_contains(const std::string& path, std::string_view needle) {
 
 bool in_deterministic_module(const std::string& path) {
   return path_contains(path, "src/auction/") || path_contains(path, "src/engine/") ||
-         path_contains(path, "src/ledger/") || path_contains(path, "src/fault/");
+         path_contains(path, "src/ledger/") || path_contains(path, "src/fault/") ||
+         path_contains(path, "src/stream/");
 }
 
 bool in_economics_code(const std::string& path) {

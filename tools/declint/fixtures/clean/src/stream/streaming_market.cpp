@@ -1,0 +1,43 @@
+// PASS fixture for declint over src/stream/ (NOT compiled): the shape a
+// compliant continuous-market file takes — validated ingest boundary,
+// logical-clock trigger, ordered iteration, no wall time.  The
+// declint.stream_clean ctest scans exactly this tree and must stay clean;
+// paired with declint.stream_fixture (WILL_FAIL) it pins both directions
+// of every rule the stream module is subject to.
+#include <cstddef>
+#include <map>
+
+namespace decloud::stream {
+
+struct Request {
+  std::size_t shard = 0;
+};
+
+void validate(const Request& request);
+
+struct StreamingMarket {
+  bool submit(const Request& request);
+  void close_micro_epoch();
+  std::map<std::size_t, std::size_t> pending_;
+  std::size_t clock_ = 0;
+};
+
+void validate_close(std::size_t clock);
+
+bool StreamingMarket::submit(const Request& request) {
+  validate(request);  // entry check: malformed bids fault before counting
+  pending_[request.shard] += 1;
+
+  std::size_t total = 0;
+  for (const auto& [shard, count] : pending_) {
+    total += count;
+  }
+  return total > ++clock_;  // logical clock, never wall time
+}
+
+void StreamingMarket::close_micro_epoch() {
+  validate_close(clock_);  // entry check: the trigger state must be sane
+  pending_.clear();
+}
+
+}  // namespace decloud::stream

@@ -1,0 +1,39 @@
+// Seeded violation fixture for declint over src/stream/ (NOT compiled):
+// the continuous market is a deterministic module — micro-epoch closes
+// must replay byte-identically — so a wall-clock read, hash-order
+// iteration, and an unchecked StreamingMarket::submit entry point must
+// all be findings here (declint.stream_fixture, WILL_FAIL).
+#include <chrono>
+#include <cstddef>
+#include <unordered_map>
+
+namespace decloud::stream {
+
+struct Request {
+  std::size_t shard = 0;
+};
+
+struct StreamingMarket {
+  bool submit(const Request& request);
+  std::unordered_map<std::size_t, std::size_t> pending_;
+  std::size_t clock_ = 0;
+};
+
+// entry-ensure: the stream ingest boundary with no EXPECTS/validate check.
+bool StreamingMarket::submit(const Request& request) {
+  pending_[request.shard] += 1;
+
+  // wallclock-outside-obs: closing a micro-epoch on wall time makes the
+  // trigger sequence unreplayable — triggers must use the logical clock.
+  const auto deadline = std::chrono::steady_clock::now();
+  (void)deadline;
+
+  std::size_t total = 0;
+  // unordered-iter: hash-order iteration deciding close order.
+  for (const auto& [shard, count] : pending_) {
+    total += count;
+  }
+  return total > ++clock_;
+}
+
+}  // namespace decloud::stream
