@@ -1,6 +1,6 @@
 // Machine-readable throughput benchmark for the sharded engine.
 //
-// Emits one JSON document (schema decloud-engine-bench-v1) timing a full
+// Emits one JSON document (schema decloud-engine-bench-v3) timing a full
 // trace-driven engine run — submission, epoch scheduling, resubmission
 // tail — at each (shard count, thread count) pair, reporting bids/sec so
 // bench/trajectory/ can track cross-shard scaling the same way
@@ -171,8 +171,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("{\n");
-  std::printf("  \"schema\": \"decloud-engine-bench-v2\",\n");
+  std::printf("  \"schema\": \"decloud-engine-bench-v3\",\n");
   std::printf("  \"hardware_concurrency\": %zu,\n", ThreadPool::default_workers());
+  // Instrumented (DECLOUD_DSCHED=ON) numbers are not comparable to
+  // production numbers; the field lets perf dashboards partition them.
+  std::printf("  \"dsched\": \"%s\",\n", dsched::kEnabled ? "on" : "off");
   std::printf("  \"rounds\": %d,\n", rounds);
   std::printf("  \"requests\": %zu,\n", num_requests);
   std::printf("  \"results\": [\n");

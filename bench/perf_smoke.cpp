@@ -50,6 +50,7 @@
 #include "auction/qom.hpp"
 #include "auction/score_matrix.hpp"
 #include "common/thread_pool.hpp"
+#include "dsched/sync.hpp"
 #include "engine/driver.hpp"
 #include "engine/engine.hpp"
 #include "engine/epoch_scheduler.hpp"
@@ -101,8 +102,11 @@ struct Entry {
 void emit(const std::vector<Entry>& entries, int rounds,
           const std::vector<std::size_t>& thread_counts) {
   std::printf("{\n");
-  std::printf("  \"schema\": \"decloud-perf-smoke-v3\",\n");
+  std::printf("  \"schema\": \"decloud-perf-smoke-v4\",\n");
   std::printf("  \"hardware_concurrency\": %zu,\n", ThreadPool::default_workers());
+  // Instrumented (DECLOUD_DSCHED=ON) numbers are not comparable to
+  // production numbers; the field lets perf dashboards partition them.
+  std::printf("  \"dsched\": \"%s\",\n", dsched::kEnabled ? "on" : "off");
   // The sweep actually run, so a point captured on a small box is
   // machine-readably distinguishable from one that exercised real cores.
   std::printf("  \"thread_sweep\": [");

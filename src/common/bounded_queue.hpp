@@ -16,6 +16,14 @@
 // The consumer side (`drain`) is not synchronized against other consumers
 // — exactly one thread may drain, per the MPSC contract.  Producers and
 // the consumer may interleave freely.
+//
+// Shutdown: close() flips the queue into a rejecting state.  Admission is
+// decided under the same lock close() takes, so every push is serialized
+// either before the close (admitted, and guaranteed to appear in a later
+// drain) or after it (kRejected/kClosed) — an admitted-then-lost bid is
+// impossible.  drain() keeps working after close and returns the residue.
+// The dsched model `queue_close` explores every interleaving of this
+// contract; bounded_queue_test pins it as a unit test.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +34,7 @@
 #include <vector>
 
 #include "common/ensure.hpp"
+#include "dsched/sync.hpp"
 
 namespace decloud {
 
@@ -36,6 +45,7 @@ enum class Admission : std::uint8_t { kAccepted, kQueued, kRejected };
 enum class RejectReason : std::uint8_t {
   kNone,      ///< not rejected
   kCapacity,  ///< queue at capacity (backpressure)
+  kClosed,    ///< queue closed for shutdown; the bid must route elsewhere
 };
 
 template <typename T>
@@ -59,7 +69,10 @@ class BoundedQueue {
 
   /// Thread-safe producer side.  FIFO order is the lock acquisition order.
   Result push(T value) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<dsched::mutex> lock(mutex_);
+    if (closed_) {
+      return {Admission::kRejected, RejectReason::kClosed};
+    }
     if (items_.size() >= capacity_) {
       return {Admission::kRejected, RejectReason::kCapacity};
     }
@@ -71,15 +84,28 @@ class BoundedQueue {
   /// Single-consumer side: removes and returns everything queued, in FIFO
   /// order.
   [[nodiscard]] std::vector<T> drain() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<dsched::mutex> lock(mutex_);
     std::vector<T> out(std::make_move_iterator(items_.begin()),
                        std::make_move_iterator(items_.end()));
     items_.clear();
     return out;
   }
 
+  /// Stops admission: every push serialized after this call returns
+  /// kRejected/kClosed.  Items admitted before the close stay queued and
+  /// remain drainable.  Idempotent.
+  void close() {
+    const std::lock_guard<dsched::mutex> lock(mutex_);
+    closed_ = true;
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<dsched::mutex> lock(mutex_);
+    return closed_;
+  }
+
   [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<dsched::mutex> lock(mutex_);
     return items_.size();
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
@@ -89,8 +115,9 @@ class BoundedQueue {
  private:
   const std::size_t capacity_;
   const std::size_t watermark_;
-  mutable std::mutex mutex_;
+  mutable dsched::mutex mutex_;
   std::deque<T> items_;
+  bool closed_ = false;
 };
 
 }  // namespace decloud

@@ -1,7 +1,6 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 #include <utility>
 
@@ -17,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<dsched::mutex> lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -25,7 +24,7 @@ ThreadPool::~ThreadPool() {
 }
 
 std::size_t ThreadPool::default_workers() {
-  const unsigned n = std::thread::hardware_concurrency();
+  const unsigned n = dsched::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
 }
 
@@ -33,7 +32,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<dsched::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.back());
@@ -45,7 +44,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<dsched::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -67,9 +66,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t ch
   // Chunks record exceptions by chunk index so the rethrow below does not
   // depend on scheduling order.
   struct ForState {
-    std::atomic<std::size_t> cursor{0};  // next unclaimed chunk
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    dsched::atomic<std::size_t> cursor{0};  // next unclaimed chunk
+    dsched::mutex done_mutex;
+    dsched::condition_variable done_cv;
     std::size_t remaining;
     std::vector<std::exception_ptr> errors;
   };
@@ -94,7 +93,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t ch
       // Notify while still holding the lock: the caller may return — and
       // release its state reference — the instant remaining hits 0, so the
       // signal must complete before this thread releases the mutex.
-      const std::lock_guard<std::mutex> lock(state->done_mutex);
+      const std::lock_guard<dsched::mutex> lock(state->done_mutex);
       if (--state->remaining == 0) state->done_cv.notify_all();
     }
   };
@@ -106,7 +105,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t ch
   for (std::size_t h = 0; h < helpers; ++h) submit(drain);
   drain();
 
-  std::unique_lock<std::mutex> lock(state->done_mutex);
+  std::unique_lock<dsched::mutex> lock(state->done_mutex);
   state->done_cv.wait(lock, [&] { return state->remaining == 0; });
   for (const auto& err : state->errors) {
     if (err) std::rethrow_exception(err);

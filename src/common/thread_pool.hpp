@@ -19,13 +19,13 @@
 // running on a pool worker may itself fan out on the same pool.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <mutex>
-#include <thread>
 #include <vector>
+
+#include "dsched/sync.hpp"
 
 namespace decloud {
 
@@ -44,8 +44,8 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
-  /// std::thread::hardware_concurrency with a floor of 1 (the standard
-  /// allows it to return 0 when undeterminable).
+  /// hardware_concurrency with a floor of 1 (the standard allows it to
+  /// return 0 when undeterminable).
   [[nodiscard]] static std::size_t default_workers();
 
   /// Applies `body(i)` for every i in [begin, end), split into contiguous
@@ -68,10 +68,10 @@ class ThreadPool {
   void worker_loop();
   void submit(std::function<void()> task);
 
-  std::vector<std::thread> workers_;
+  std::vector<dsched::thread> workers_;
   std::vector<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  dsched::mutex mutex_;
+  dsched::condition_variable cv_;
   bool stop_ = false;
 };
 

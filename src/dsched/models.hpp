@@ -1,0 +1,38 @@
+#pragma once
+
+// Named dsched model bodies (DESIGN.md §3i), shared between the
+// tests/dsched suites and tools/dsched_explore.  Each model is a
+// self-contained concurrency scenario over the production code
+// (BoundedQueue, ThreadPool, StreamingMarket) plus the invariant it
+// checks; explore() drives it through every (or many sampled)
+// interleavings.  Only built when the tree is configured with
+// -DDECLOUD_DSCHED=ON.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dsched/scheduler.hpp"
+
+namespace decloud::dsched {
+
+struct ModelSpec {
+  std::string name;
+  std::string description;
+  /// Recommended exploration options (mode, budgets).  Callers may
+  /// override mode/seed/schedules from the command line.
+  Options options;
+  /// Builds a fresh model body.  The returned callable is re-entrant
+  /// across schedules of ONE exploration (explore() invokes it once per
+  /// schedule) and may carry cross-schedule state, e.g. the expected
+  /// EngineReport bytes captured on the first schedule.
+  std::function<std::function<void()>()> make_body;
+};
+
+/// All registered models, in a fixed order.
+const std::vector<ModelSpec>& models();
+
+/// Looks a model up by name; nullptr when unknown.
+const ModelSpec* find_model(const std::string& name);
+
+}  // namespace decloud::dsched

@@ -1,0 +1,835 @@
+#include "dsched/scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace decloud::dsched {
+
+namespace {
+
+const char* mode_name(Options::Mode mode) {
+  switch (mode) {
+    case Options::Mode::kExhaustive:
+      return "exhaustive";
+    case Options::Mode::kPct:
+      return "pct";
+    case Options::Mode::kReplay:
+      return "replay";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string format_certificate(Options::Mode mode, std::uint64_t seed, std::size_t threads,
+                               const std::vector<int>& choices) {
+  std::ostringstream out;
+  out << "dsched1;mode=" << mode_name(mode) << ";seed=" << seed << ";threads=" << threads
+      << ";choices=";
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i != 0) out << ',';
+    out << choices[i];
+  }
+  return out.str();
+}
+
+Options parse_certificate(const std::string& certificate) {
+  Options options;
+  options.mode = Options::Mode::kReplay;
+
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(certificate);
+  while (std::getline(in, field, ';')) fields.push_back(field);
+  if (fields.empty() || fields[0] != "dsched1") {
+    throw std::invalid_argument("dsched certificate must start with \"dsched1;\": " + certificate);
+  }
+  bool saw_choices = false;
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    const std::size_t eq = f.find('=');
+    if (eq == std::string::npos) throw std::invalid_argument("malformed certificate field: " + f);
+    const std::string key = f.substr(0, eq);
+    const std::string value = f.substr(eq + 1);
+    if (key == "seed") {
+      options.seed = std::stoull(value);
+    } else if (key == "choices") {
+      saw_choices = true;
+      std::istringstream cs(value);
+      std::string token;
+      while (std::getline(cs, token, ',')) {
+        if (!token.empty()) options.replay_choices.push_back(std::stoi(token));
+      }
+    } else if (key != "mode" && key != "threads") {
+      throw std::invalid_argument("unknown certificate field: " + key);
+    }
+  }
+  if (!saw_choices) throw std::invalid_argument("certificate has no choices field");
+  return options;
+}
+
+}  // namespace decloud::dsched
+
+#if defined(DECLOUD_DSCHED) && DECLOUD_DSCHED
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "dsched/sync.hpp"
+
+namespace decloud::dsched {
+
+namespace {
+
+using detail::OpKind;
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+/// Internal unwind signal used to tear down virtual threads after a
+/// failure has been detected.  Deliberately NOT derived from
+/// std::exception so model code catching std::exception cannot swallow
+/// it (catch (...) can, which parallel_for's error collection does — the
+/// aborted run's results are discarded, so that is harmless).
+struct AbortSchedule {};
+
+struct Op {
+  OpKind kind = OpKind::kStart;
+  const void* object = nullptr;
+  const void* object2 = nullptr;  // kCvWait: the mutex released/reacquired
+  int target = -1;                // kJoin: joined vthread id
+};
+
+struct VThread {
+  int id = 0;
+  std::function<void()> fn;
+  std::thread os;
+  Op pending;
+  bool parked = false;      // at a yield point, waiting for a grant
+  bool granted = false;
+  bool blocked_cv = false;  // parked inside condition_variable::wait
+  bool finished = false;
+  bool try_lock_result = false;
+  std::int64_t priority = 0;  // PCT random priority (higher runs first)
+  const void* wait_mutex = nullptr;
+  std::exception_ptr error;
+};
+
+/// One DFS choice point.  `sleep` is the sleep set on entry (vids whose
+/// pending ops provably commute with everything explored since they
+/// became ready — exploring them here would revisit a covered subtree).
+struct Frame {
+  std::vector<int> enabled;
+  std::vector<int> sleep;
+  std::vector<int> explored;
+  int chosen = -1;
+};
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+class Scheduler;
+
+thread_local Scheduler* tl_sched = nullptr;  // set while an OS thread acts as a vthread
+thread_local int tl_vid = -1;
+
+Scheduler* g_active = nullptr;  // one exploration per process at a time
+
+class Scheduler {
+ public:
+  Scheduler(const Options& options, const std::function<void()>& body)
+      : opts_(options), body_(body) {}
+
+  RunResult run();
+
+  // ----- hooks, called from sync.hpp on a virtual thread -----
+
+  void hook_yield(Op op) {
+    std::unique_lock<std::mutex> lk(m_);
+    if (abort_) {
+      // Teardown after a detected failure.  Condition waits must unwind
+      // (a no-op return would make predicate loops spin forever); every
+      // other op degrades to a no-op so destructors can run.
+      if (op.kind == OpKind::kCvWait) throw AbortSchedule{};
+      return;
+    }
+    VThread& self = *threads_[static_cast<std::size_t>(tl_vid)];
+    if (op.object != nullptr) label(op.object);
+    if (op.object2 != nullptr) label(op.object2);
+    self.pending = op;
+    self.parked = true;
+    dispatch(lk);
+    cv_.wait(lk, [&] { return self.granted; });
+    self.granted = false;
+    self.parked = false;
+    if (abort_) throw AbortSchedule{};
+  }
+
+  bool hook_try_lock(const void* m) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      if (abort_) return true;  // pretend success so retry loops make progress
+    }
+    Op op;
+    op.kind = OpKind::kMutexTryLock;
+    op.object = m;
+    hook_yield(op);
+    std::unique_lock<std::mutex> lk(m_);
+    return threads_[static_cast<std::size_t>(tl_vid)]->try_lock_result;
+  }
+
+  int hook_spawn(std::function<void()> fn) {
+    Op op;
+    op.kind = OpKind::kSpawn;
+    hook_yield(op);
+    std::unique_lock<std::mutex> lk(m_);
+    if (abort_) return -2;
+    return spawn_locked(std::move(fn));
+  }
+
+  void hook_join(int vid) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      DECLOUD_EXPECTS(vid >= 0 && static_cast<std::size_t>(vid) < threads_.size());
+      if (abort_) {
+        // Real join during teardown: the caller may free memory the
+        // target's stack still references (thread_pool members), so the
+        // target must actually be gone before we return.
+        std::thread& os = threads_[static_cast<std::size_t>(vid)]->os;
+        lk.unlock();
+        if (os.joinable()) os.join();
+        return;
+      }
+    }
+    Op op;
+    op.kind = OpKind::kJoin;
+    op.target = vid;
+    op.object = threads_[static_cast<std::size_t>(vid)].get();
+    hook_yield(op);
+  }
+
+ private:
+  // ----- one schedule -----
+
+  void run_schedule() {
+    owners_.clear();
+    waiters_.clear();
+    labels_.clear();
+    trace_.clear();
+    next_sleep_.clear();
+    threads_.clear();
+    prune_stop_ = false;
+    run_done_ = false;
+    abort_ = false;
+    failed_ = false;
+    diverged_ = false;
+    failure_.clear();
+    trace_hash_ = SplitMix64(trace_hash_ ^ kGolden).next();  // run separator
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      spawn_locked(body_);  // vthread 0 = the model body
+      dispatch(lk);
+      cv_.wait(lk, [&] { return run_done_; });
+    }
+    for (const auto& t : threads_) {
+      if (t->os.joinable()) t->os.join();
+    }
+    if (!failed_) {
+      for (const auto& t : threads_) {
+        if (!t->error) continue;
+        failed_ = true;
+        failure_ = "vthread " + std::to_string(t->id) + ": " + describe_error(t->error);
+        break;
+      }
+    }
+  }
+
+  int spawn_locked(std::function<void()> fn) {  // requires m_ held
+    const int vid = static_cast<int>(threads_.size());
+    auto t = std::make_unique<VThread>();
+    t->id = vid;
+    t->fn = std::move(fn);
+    t->parked = true;
+    t->pending = Op{};  // OpKind::kStart
+    if (opts_.mode == Options::Mode::kPct) {
+      t->priority = static_cast<std::int64_t>(run_rng_.next() >> 1);
+    }
+    threads_.push_back(std::move(t));
+    threads_[static_cast<std::size_t>(vid)]->os = std::thread([this, vid] { trampoline(vid); });
+    return vid;
+  }
+
+  void trampoline(int vid) {
+    tl_sched = this;
+    tl_vid = vid;
+    VThread* self = nullptr;
+    bool aborted = false;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      self = threads_[static_cast<std::size_t>(vid)].get();
+      cv_.wait(lk, [&] { return self->granted; });
+      self->granted = false;
+      self->parked = false;
+      aborted = abort_;
+    }
+    std::exception_ptr error;
+    if (!aborted) {
+      try {
+        self->fn();
+      } catch (const AbortSchedule&) {  // clean teardown, not a model error
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      self->finished = true;
+      self->parked = false;
+      self->error = error;
+      if (abort_) {
+        bool all_finished = true;
+        for (const auto& t : threads_) all_finished = all_finished && t->finished;
+        if (all_finished) {
+          run_done_ = true;
+          cv_.notify_all();
+        }
+      } else {
+        dispatch(lk);
+      }
+    }
+    tl_vid = -1;
+    tl_sched = nullptr;
+  }
+
+  // ----- the decision loop -----
+
+  void dispatch(std::unique_lock<std::mutex>& lk) {
+    if (abort_ || run_done_) return;
+    std::vector<int> enabled;
+    bool any_live = false;
+    for (const auto& t : threads_) {
+      if (t->finished) continue;
+      any_live = true;
+      if (t->blocked_cv || !t->parked || t->granted) continue;
+      if (op_enabled(*t)) enabled.push_back(t->id);
+    }
+    if (!any_live) {
+      run_done_ = true;
+      cv_.notify_all();
+      return;
+    }
+    if (enabled.empty()) {
+      fail(describe_deadlock());
+      return;
+    }
+    if (trace_.size() >= opts_.max_steps) {
+      fail("livelock: schedule exceeded max_steps=" + std::to_string(opts_.max_steps));
+      return;
+    }
+    int chosen = -1;
+    switch (opts_.mode) {
+      case Options::Mode::kExhaustive:
+        chosen = pick_exhaustive(enabled);
+        break;
+      case Options::Mode::kPct:
+        chosen = pick_pct(enabled);
+        break;
+      case Options::Mode::kReplay:
+        chosen = pick_replay(enabled);
+        break;
+    }
+    if (chosen < 0) return;  // pick already reported a failure
+    trace_.push_back(chosen);
+    trace_hash_ = SplitMix64(trace_hash_ ^ (static_cast<std::uint64_t>(chosen) + 1)).next();
+    apply(chosen, lk);
+  }
+
+  [[nodiscard]] bool op_enabled(const VThread& t) const {
+    switch (t.pending.kind) {
+      case OpKind::kMutexLock:
+        return owners_.find(t.pending.object) == owners_.end();
+      case OpKind::kJoin:
+        return threads_[static_cast<std::size_t>(t.pending.target)]->finished;
+      default:
+        return true;
+    }
+  }
+
+  void apply(int chosen, std::unique_lock<std::mutex>& lk) {
+    VThread& t = *threads_[static_cast<std::size_t>(chosen)];
+    const Op op = t.pending;
+    switch (op.kind) {
+      case OpKind::kMutexLock: {
+        owners_[op.object] = chosen;
+        grant(t);
+        break;
+      }
+      case OpKind::kMutexTryLock: {
+        const bool free = owners_.find(op.object) == owners_.end();
+        t.try_lock_result = free;
+        if (free) owners_[op.object] = chosen;
+        grant(t);
+        break;
+      }
+      case OpKind::kMutexUnlock: {
+        const auto it = owners_.find(op.object);
+        if (it == owners_.end() || it->second != chosen) {
+          fail("vthread " + std::to_string(chosen) + " unlocked mutex " + label(op.object) +
+               " it does not hold (undefined behaviour under std::mutex)");
+          return;
+        }
+        owners_.erase(it);
+        grant(t);
+        break;
+      }
+      case OpKind::kCvWait: {
+        const auto it = owners_.find(op.object2);
+        if (it == owners_.end() || it->second != chosen) {
+          fail("vthread " + std::to_string(chosen) + " waited on " + label(op.object) +
+               " without holding its mutex (undefined behaviour under std)");
+          return;
+        }
+        owners_.erase(it);  // atomic unlock + park, as std specifies
+        t.blocked_cv = true;
+        t.wait_mutex = op.object2;
+        waiters_[op.object].push_back(chosen);
+        dispatch(lk);  // the wait consumed this step; schedule someone else
+        break;
+      }
+      case OpKind::kCvNotifyOne:
+      case OpKind::kCvNotifyAll: {
+        auto& queue = waiters_[op.object];
+        const std::size_t woken =
+            op.kind == OpKind::kCvNotifyAll ? queue.size() : std::min<std::size_t>(1, queue.size());
+        for (std::size_t i = 0; i < woken; ++i) {
+          VThread& w = *threads_[static_cast<std::size_t>(queue[i])];
+          w.blocked_cv = false;
+          // The wakeup is modelled as a fresh blocking acquire of the
+          // mutex the waiter released, so contention on reacquire is
+          // part of the explored space.  FIFO wake order (deterministic;
+          // std leaves it unspecified — see DESIGN.md §3i).
+          Op relock;
+          relock.kind = OpKind::kMutexLock;
+          relock.object = w.wait_mutex;
+          w.pending = relock;
+        }
+        queue.erase(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(woken));
+        grant(t);
+        break;
+      }
+      default: {  // kStart, kSpawn, kJoin, and all atomic ops
+        grant(t);
+        break;
+      }
+    }
+  }
+
+  void grant(VThread& t) {
+    t.granted = true;
+    cv_.notify_all();
+  }
+
+  void fail(const std::string& message) {
+    failed_ = true;
+    failure_ = message;
+    abort_ = true;
+    for (const auto& t : threads_) {
+      if (!t->finished) t->granted = true;
+    }
+    cv_.notify_all();
+  }
+
+  // ----- schedule policies -----
+
+  int pick_exhaustive(const std::vector<int>& enabled) {
+    const std::size_t depth = trace_.size();
+    if (prune_stop_) return enabled.front();
+    if (depth < frames_.size()) {
+      Frame& f = frames_[depth];
+      if (f.enabled != enabled) {
+        fail("model is schedule-nondeterministic: the same choice prefix produced a different "
+             "enabled set on replay (model bodies must have no randomness or wall-clock input)");
+        return -1;
+      }
+      next_sleep_ = child_sleep(f, f.chosen);
+      return f.chosen;
+    }
+    Frame f;
+    f.enabled = enabled;
+    f.sleep = next_sleep_;
+    int choice = -1;
+    for (int vid : enabled) {
+      if (!opts_.sleep_sets || !contains(f.sleep, vid)) {
+        choice = vid;
+        break;
+      }
+    }
+    if (choice < 0) {
+      // Every enabled op is asleep: this subtree is covered by schedules
+      // already explored.  Finish the run deterministically (no new
+      // choice points) and stop branching below this depth.
+      prune_stop_ = true;
+      ++pruned_;
+      return enabled.front();
+    }
+    f.chosen = choice;
+    next_sleep_ = child_sleep(f, choice);
+    frames_.push_back(std::move(f));
+    return choice;
+  }
+
+  [[nodiscard]] std::vector<int> child_sleep(const Frame& f, int chosen) const {
+    if (!opts_.sleep_sets) return {};
+    std::vector<int> out;
+    const Op& chosen_op = threads_[static_cast<std::size_t>(chosen)]->pending;
+    const auto consider = [&](int vid) {
+      if (vid == chosen || contains(out, vid)) return;
+      if (independent(threads_[static_cast<std::size_t>(vid)]->pending, chosen_op)) {
+        out.push_back(vid);
+      }
+    };
+    for (int vid : f.sleep) consider(vid);
+    for (int vid : f.explored) consider(vid);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Dependency relation for sleep sets: two pending ops commute iff
+  /// they are data ops on different objects, or both loads of the same
+  /// atomic.  Control ops (spawn/join/start/cv) are conservatively
+  /// dependent with everything.
+  [[nodiscard]] static bool independent(const Op& a, const Op& b) {
+    const auto data_op = [](OpKind k) {
+      return k == OpKind::kAtomicLoad || k == OpKind::kAtomicStore || k == OpKind::kAtomicRmw ||
+             k == OpKind::kMutexLock || k == OpKind::kMutexTryLock || k == OpKind::kMutexUnlock;
+    };
+    if (!data_op(a.kind) || !data_op(b.kind)) return false;
+    if (a.object != b.object) return true;
+    return a.kind == OpKind::kAtomicLoad && b.kind == OpKind::kAtomicLoad;
+  }
+
+  int pick_pct(const std::vector<int>& enabled) {
+    int best = enabled.front();
+    for (int vid : enabled) {
+      if (threads_[static_cast<std::size_t>(vid)]->priority >
+          threads_[static_cast<std::size_t>(best)]->priority) {
+        best = vid;
+      }
+    }
+    // Priority change point: after this step the running thread drops
+    // below every other priority, forcing a preemption (PCT, Burckhardt
+    // et al.: d-1 change points detect any bug of depth <= d).
+    if (std::find(change_points_.begin(), change_points_.end(), trace_.size() + 1) !=
+        change_points_.end()) {
+      threads_[static_cast<std::size_t>(best)]->priority = low_counter_--;
+    }
+    return best;
+  }
+
+  int pick_replay(const std::vector<int>& enabled) {
+    const std::size_t depth = trace_.size();
+    if (depth < opts_.replay_choices.size()) {
+      const int want = opts_.replay_choices[depth];
+      if (!contains(enabled, want)) {
+        diverged_ = true;
+        fail("replay divergence at step " + std::to_string(depth) + ": vthread " +
+             std::to_string(want) + " is not enabled under this model");
+        return -1;
+      }
+      return want;
+    }
+    return enabled.front();  // deterministic completion past the recorded prefix
+  }
+
+  /// Advances the DFS to the next unexplored branch.  Returns false when
+  /// the whole interleaving space has been covered.
+  bool advance() {
+    while (!frames_.empty()) {
+      Frame& f = frames_.back();
+      f.explored.push_back(f.chosen);
+      int next = -1;
+      for (int vid : f.enabled) {
+        if (contains(f.explored, vid)) continue;
+        if (opts_.sleep_sets && contains(f.sleep, vid)) continue;
+        next = vid;
+        break;
+      }
+      if (next >= 0) {
+        f.chosen = next;
+        return true;
+      }
+      frames_.pop_back();
+    }
+    return false;
+  }
+
+  // ----- diagnostics -----
+
+  /// Stable per-run label for a sync object (first-touch order), so
+  /// failure messages are deterministic — raw addresses are not.
+  std::string label(const void* object) {  // requires m_ held
+    const auto it = labels_.find(object);
+    const std::size_t id = it == labels_.end() ? (labels_[object] = labels_.size()) : it->second;
+    return "object#" + std::to_string(id);
+  }
+
+  [[nodiscard]] std::string describe_deadlock() {
+    std::ostringstream out;
+    out << "deadlock: no virtual thread is enabled";
+    for (const auto& t : threads_) {
+      if (t->finished) continue;
+      out << "; vthread " << t->id;
+      if (t->blocked_cv) {
+        out << " waits on condition_variable " << label(t->pending.object)
+            << " with no reachable notifier (lost wakeup or deadlock)";
+      } else if (t->pending.kind == OpKind::kMutexLock) {
+        out << " blocked acquiring mutex " << label(t->pending.object);
+      } else if (t->pending.kind == OpKind::kJoin) {
+        out << " joins vthread " << t->pending.target << " which never finishes";
+      } else {
+        out << " has a disabled pending op";
+      }
+    }
+    return out.str();
+  }
+
+  [[nodiscard]] static std::string describe_error(const std::exception_ptr& error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      return e.what();
+    } catch (...) {
+      return "unknown exception";
+    }
+  }
+
+  // ----- state -----
+
+  const Options opts_;
+  const std::function<void()>& body_;
+
+  std::mutex m_;  // declint:allow(raw-sync-primitive) — the scheduler's own machinery
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<VThread>> threads_;
+  std::map<const void*, int> owners_;                 // mutex -> holding vthread
+  std::map<const void*, std::vector<int>> waiters_;   // cv -> FIFO parked vthreads
+  std::map<const void*, std::size_t> labels_;         // object -> first-touch id
+  std::vector<int> trace_;
+  std::vector<Frame> frames_;      // DFS choice stack, persists across runs
+  std::vector<int> next_sleep_;    // sleep set to install on the next new frame
+  std::vector<std::size_t> change_points_;  // PCT: 1-based step indices
+  SplitMix64 run_rng_{0};
+  std::int64_t low_counter_ = -1;
+  std::size_t pruned_ = 0;
+  std::size_t last_len_ = 64;  // previous schedule length, sizes PCT change points
+  std::uint64_t trace_hash_ = 0;
+  bool prune_stop_ = false;
+  bool run_done_ = false;
+  bool abort_ = false;
+  bool failed_ = false;
+  bool diverged_ = false;
+  std::string failure_;
+};
+
+RunResult Scheduler::run() {
+  RunResult result;
+  g_active = this;
+  switch (opts_.mode) {
+    case Options::Mode::kExhaustive: {
+      std::size_t runs = 0;
+      for (;;) {
+        run_schedule();
+        ++runs;
+        if (prune_stop_) {
+          // counted via pruned_ when the prune was detected
+        } else {
+          ++result.schedules;
+        }
+        result.steps = trace_.size();
+        result.max_threads = std::max(result.max_threads, threads_.size());
+        if (failed_) {
+          result.failed = true;
+          result.failure = failure_;
+          result.certificate =
+              format_certificate(opts_.mode, opts_.seed, threads_.size(), trace_);
+          break;
+        }
+        if (runs >= opts_.max_schedules) break;  // budget exhausted, complete stays false
+        if (!advance()) {
+          result.complete = true;
+          break;
+        }
+      }
+      break;
+    }
+    case Options::Mode::kPct: {
+      for (std::size_t k = 0; k < opts_.max_schedules; ++k) {
+        run_rng_ = SplitMix64(opts_.seed + kGolden * (k + 1));
+        change_points_.clear();
+        for (std::size_t i = 0; i + 1 < opts_.pct_depth; ++i) {
+          change_points_.push_back(1 + run_rng_.next() % last_len_);
+        }
+        low_counter_ = -1;
+        run_schedule();
+        last_len_ = std::max<std::size_t>(trace_.size(), 2);
+        ++result.schedules;
+        result.steps = trace_.size();
+        result.max_threads = std::max(result.max_threads, threads_.size());
+        if (failed_) {
+          result.failed = true;
+          result.failure = failure_;
+          result.certificate =
+              format_certificate(opts_.mode, opts_.seed, threads_.size(), trace_);
+          break;
+        }
+      }
+      break;
+    }
+    case Options::Mode::kReplay: {
+      run_schedule();
+      result.schedules = 1;
+      result.steps = trace_.size();
+      result.max_threads = threads_.size();
+      result.diverged = diverged_;
+      if (failed_) {
+        result.failed = true;
+        result.failure = failure_;
+        result.certificate = format_certificate(opts_.mode, opts_.seed, threads_.size(), trace_);
+      }
+      break;
+    }
+  }
+  result.pruned = pruned_;
+  result.trace_hash = trace_hash_;
+  g_active = nullptr;
+  return result;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool in_model() noexcept { return tl_sched != nullptr; }
+
+void yield(OpKind kind, const void* object) {
+  Op op;
+  op.kind = kind;
+  op.object = object;
+  tl_sched->hook_yield(op);
+}
+
+void mutex_lock(const void* m) { yield(OpKind::kMutexLock, m); }
+
+bool mutex_try_lock(const void* m) { return tl_sched->hook_try_lock(m); }
+
+void mutex_unlock(const void* m) { yield(OpKind::kMutexUnlock, m); }
+
+void cv_wait(const void* cv, const void* m) {
+  Op op;
+  op.kind = OpKind::kCvWait;
+  op.object = cv;
+  op.object2 = m;
+  tl_sched->hook_yield(op);
+}
+
+void cv_notify(const void* cv, bool all) {
+  yield(all ? OpKind::kCvNotifyAll : OpKind::kCvNotifyOne, cv);
+}
+
+int spawn(std::function<void()> fn) { return tl_sched->hook_spawn(std::move(fn)); }
+
+void join(int vthread) {
+  if (vthread >= 0) tl_sched->hook_join(vthread);
+}
+
+}  // namespace detail
+
+RunResult explore(const Options& options, const std::function<void()>& body) {
+  DECLOUD_EXPECTS(static_cast<bool>(body));
+  DECLOUD_EXPECTS(options.max_steps > 0);
+  DECLOUD_EXPECTS(options.mode != Options::Mode::kPct || options.pct_depth >= 1);
+  DECLOUD_EXPECTS(tl_sched == nullptr);  // no nested exploration inside a model body
+  DECLOUD_EXPECTS(g_active == nullptr);
+  Scheduler scheduler(options, body);
+  return scheduler.run();
+}
+
+RunResult replay(const std::string& certificate, const std::function<void()>& body) {
+  return explore(parse_certificate(certificate), body);
+}
+
+std::string minimize(const std::string& certificate, const std::function<void()>& body) {
+  const Options base = parse_certificate(certificate);
+  RunResult current = explore(base, body);
+  if (!current.failed || current.diverged) return certificate;  // nothing to minimize against
+  // Work from the full failing trace (replay pads past the recorded
+  // prefix, so the actual trace may be longer than the input choices).
+  std::vector<int> choices = parse_certificate(current.certificate).replay_choices;
+
+  const auto replay_failed = [&](const std::vector<int>& candidate) {
+    Options o = base;
+    o.replay_choices = candidate;
+    const RunResult r = explore(o, body);
+    return r.failed && !r.diverged;
+  };
+
+  // Phase 1: shortest failing explicit prefix.  The boundary search
+  // assumes rough monotonicity; the final check keeps the result honest.
+  std::size_t lo = 0;
+  std::size_t hi = choices.size();
+  const auto prefix = [&](std::size_t n) {
+    return std::vector<int>(choices.begin(), choices.begin() + static_cast<std::ptrdiff_t>(n));
+  };
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (replay_failed(prefix(mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (hi < choices.size() && replay_failed(prefix(hi))) choices = prefix(hi);
+
+  // Phase 2: merge context switches by adjacent swaps while the failure
+  // still reproduces.
+  const auto switches = [](const std::vector<int>& v) {
+    std::size_t n = 0;
+    for (std::size_t i = 1; i < v.size(); ++i) n += v[i] != v[i - 1] ? 1 : 0;
+    return n;
+  };
+  bool improved = true;
+  int passes = 0;
+  while (improved && passes++ < 8) {
+    improved = false;
+    for (std::size_t i = 1; i < choices.size(); ++i) {
+      if (choices[i] == choices[i - 1]) continue;
+      std::vector<int> candidate = choices;
+      std::swap(candidate[i - 1], candidate[i]);
+      if (switches(candidate) >= switches(choices)) continue;
+      if (replay_failed(candidate)) {
+        choices = std::move(candidate);
+        improved = true;
+      }
+    }
+  }
+
+  Options final_options = base;
+  final_options.replay_choices = choices;
+  const RunResult r = explore(final_options, body);
+  return r.failed && !r.diverged ? r.certificate : certificate;
+}
+
+}  // namespace decloud::dsched
+
+#endif  // DECLOUD_DSCHED

@@ -1,0 +1,108 @@
+#pragma once
+
+// dsched scheduler — systematic exploration of thread interleavings
+// (DESIGN.md §3i).  Only meaningful when the tree is built with
+// -DDECLOUD_DSCHED=ON; in the default build this header provides the
+// types but explore()/replay()/minimize() are not compiled.
+//
+// A model is a plain callable.  explore() runs it repeatedly, each run
+// under a different schedule: the body becomes virtual thread 0, every
+// dsched primitive operation is a yield point, and exactly one virtual
+// thread runs between yield points.  Failures — a ModelFailure thrown by
+// dsched::check, any DECLOUD_EXPECTS/ENSURES violation or other
+// exception escaping a virtual thread, a deadlock (no virtual thread
+// enabled while some are blocked — this is also how a lost wakeup
+// presents), or a livelock (max_steps exceeded) — stop exploration and
+// produce a replayable schedule certificate.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace decloud::dsched {
+
+/// Thrown by dsched::check inside a model body; caught by the explorer
+/// and reported as a schedule failure with a certificate.
+class ModelFailure : public std::runtime_error {
+ public:
+  explicit ModelFailure(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Model-body assertion.  Use instead of gtest macros inside model
+/// bodies: it throws, so the explorer can attribute the failure to the
+/// exact schedule and keep the process alive to emit a certificate.
+inline void check(bool condition, const std::string& message) {
+  if (!condition) throw ModelFailure(message);
+}
+
+struct Options {
+  enum class Mode {
+    kExhaustive,  // bounded DFS over all interleavings (+ sleep sets)
+    kPct,         // seeded random-priority sampling (PCT-style)
+    kReplay,      // single run following replay_choices
+  };
+
+  Mode mode = Mode::kExhaustive;
+
+  /// Root of all randomness in kPct mode; byte-determinism of the whole
+  /// exploration follows from it (SplitMix64 throughout).
+  std::uint64_t seed = 1;
+
+  /// kExhaustive: exploration budget (complete=false when exceeded).
+  /// kPct: number of sampled schedules.
+  std::size_t max_schedules = 200000;
+
+  /// Per-schedule yield-point budget; exceeding it is reported as a
+  /// livelock failure.
+  std::size_t max_steps = 20000;
+
+  /// kPct: number of priority change points per schedule is depth - 1
+  /// (PCT detects any bug of depth <= pct_depth with known probability).
+  std::size_t pct_depth = 3;
+
+  /// kExhaustive: sleep-set partial-order reduction.  Sound for the
+  /// failure classes above; turn off to measure the unreduced space.
+  bool sleep_sets = true;
+
+  /// kReplay: the choice sequence, normally parsed from a certificate.
+  std::vector<int> replay_choices;
+};
+
+struct RunResult {
+  std::size_t schedules = 0;     // schedules fully executed
+  std::size_t pruned = 0;        // subtrees cut by sleep sets
+  std::size_t steps = 0;         // yield points in the last schedule
+  std::size_t max_threads = 0;   // peak live virtual threads observed
+  bool complete = false;         // kExhaustive: DFS finished within budget
+  bool failed = false;
+  bool diverged = false;         // kReplay: a recorded choice was not enabled
+  std::string failure;           // human-readable failure description
+  std::string certificate;       // replayable schedule of the failing run
+  std::uint64_t trace_hash = 0;  // SplitMix64 fold of every explored choice
+};
+
+/// Serialized schedule: "dsched1;mode=<m>;seed=<n>;threads=<k>;choices=a,b,c".
+std::string format_certificate(Options::Mode mode, std::uint64_t seed, std::size_t threads,
+                               const std::vector<int>& choices);
+
+/// Parses a certificate into replay options.  Throws std::invalid_argument
+/// on malformed input.
+Options parse_certificate(const std::string& certificate);
+
+/// Runs `body` under systematically explored schedules.  Stops at the
+/// first failing schedule.  `body` must be re-entrant: each run must
+/// construct the objects it explores from scratch.
+RunResult explore(const Options& options, const std::function<void()>& body);
+
+/// Replays one schedule from a certificate.
+RunResult replay(const std::string& certificate, const std::function<void()>& body);
+
+/// Greedy delta-minimization: repeatedly tries to reduce the number of
+/// context switches in the certificate, accepting a variant only if its
+/// replay still fails.  Returns the smallest certificate found.
+std::string minimize(const std::string& certificate, const std::function<void()>& body);
+
+}  // namespace decloud::dsched

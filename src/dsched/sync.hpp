@@ -1,0 +1,301 @@
+#pragma once
+
+// dsched — deterministic-schedule sync primitives (DESIGN.md §3i).
+//
+// Every piece of concurrency in the tree goes through these wrappers
+// instead of the raw std primitives (enforced by declint's
+// raw-sync-primitive rule).  Two build modes:
+//
+//   DECLOUD_DSCHED off (default): each wrapper is a pure type alias of
+//     the corresponding std primitive — zero overhead, proven by the
+//     static_asserts in tests/common/dsched_sync_test.cpp.
+//
+//   DECLOUD_DSCHED on: each operation (lock/unlock/load/store/wait/
+//     notify/spawn/join) first asks the active schedule explorer for
+//     permission, turning it into a yield point.  A cooperative
+//     virtual-thread scheduler (scheduler.hpp) then drives exactly one
+//     thread at a time through every yield point, either exhaustively
+//     (DFS + sleep sets) or by seeded PCT sampling.  Threads that are
+//     NOT part of a model run (e.g. ordinary gtest bodies in an
+//     instrumented build) fall through to the real std primitive, so the
+//     whole tier-1 suite still passes with DECLOUD_DSCHED=ON.
+//
+// Mixing model and non-model threads on the SAME object is unsupported:
+// a model must construct the objects (queues, pools, engines) it
+// explores inside its own body.
+//
+// This directory is the one sanctioned home for raw std primitives.
+
+#if defined(DECLOUD_DSCHED) && DECLOUD_DSCHED
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace decloud::dsched {
+
+inline constexpr bool kEnabled = true;
+
+namespace detail {
+
+// Yield-point taxonomy.  The scheduler uses the (kind, object) pair as
+// its dependency relation for sleep-set pruning: two operations commute
+// iff they touch different objects, or are both atomic loads.
+enum class OpKind : int {
+  kStart = 0,     // first slice of a freshly spawned virtual thread
+  kAtomicLoad,    // dsched::atomic<T>::load / implicit conversion
+  kAtomicStore,   // dsched::atomic<T>::store / operator=
+  kAtomicRmw,     // fetch_add / exchange / compare_exchange / ++ / +=
+  kMutexLock,     // blocking acquire — enabled iff the mutex is free
+  kMutexTryLock,  // non-blocking acquire — always enabled
+  kMutexUnlock,   // release
+  kCvWait,        // atomic unlock + park on the condition variable
+  kCvNotifyOne,   // wake the oldest waiter (FIFO, deterministic)
+  kCvNotifyAll,   // wake every waiter
+  kSpawn,         // dsched::thread construction
+  kJoin,          // dsched::thread::join — enabled iff target finished
+};
+
+// Implemented in scheduler.cpp.  All are no-ops / std passthroughs when
+// the calling OS thread is not a scheduled virtual thread.
+bool in_model() noexcept;
+void yield(OpKind kind, const void* object);
+void mutex_lock(const void* m);
+bool mutex_try_lock(const void* m);
+void mutex_unlock(const void* m);
+void cv_wait(const void* cv, const void* m);
+void cv_notify(const void* cv, bool all);
+int spawn(std::function<void()> fn);
+void join(int vthread);
+
+}  // namespace detail
+
+class condition_variable;
+
+class mutex {
+ public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() {
+    if (detail::in_model()) {
+      detail::mutex_lock(this);
+    } else {
+      real_.lock();
+    }
+  }
+
+  bool try_lock() {
+    if (detail::in_model()) return detail::mutex_try_lock(this);
+    return real_.try_lock();
+  }
+
+  void unlock() {
+    if (detail::in_model()) {
+      detail::mutex_unlock(this);
+    } else {
+      real_.unlock();
+    }
+  }
+
+ private:
+  friend class condition_variable;
+  std::mutex real_;
+};
+
+class condition_variable {
+ public:
+  condition_variable() = default;
+  condition_variable(const condition_variable&) = delete;
+  condition_variable& operator=(const condition_variable&) = delete;
+
+  void notify_one() {
+    if (detail::in_model()) {
+      detail::cv_notify(this, /*all=*/false);
+    } else {
+      real_.notify_one();
+    }
+  }
+
+  void notify_all() {
+    if (detail::in_model()) {
+      detail::cv_notify(this, /*all=*/true);
+    } else {
+      real_.notify_all();
+    }
+  }
+
+  void wait(std::unique_lock<mutex>& lock) {
+    if (detail::in_model()) {
+      // One yield point covering unlock + park + (after a notify)
+      // reacquire.  The scheduler models the reacquire as a fresh
+      // kMutexLock op, so wakeup order and lock contention are both
+      // explored.  No spurious wakeups are modelled — this is stronger
+      // than std, which is fine for checking (a lost wakeup under the
+      // no-spurious model is a lost wakeup under std too).
+      detail::cv_wait(this, lock.mutex());
+      return;
+    }
+    std::unique_lock<std::mutex> inner(lock.mutex()->real_, std::adopt_lock);
+    real_.wait(inner);
+    inner.release();
+  }
+
+  template <typename Predicate>
+  void wait(std::unique_lock<mutex>& lock, Predicate predicate) {
+    while (!predicate()) wait(lock);
+  }
+
+ private:
+  std::condition_variable real_;
+};
+
+template <typename T>
+class atomic {
+ public:
+  atomic() noexcept = default;
+  constexpr atomic(T desired) noexcept : value_(desired) {}  // NOLINT(google-explicit-constructor)
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order order = std::memory_order_seq_cst) const {
+    if (detail::in_model()) {
+      detail::yield(detail::OpKind::kAtomicLoad, this);
+      return value_.load(std::memory_order_relaxed);
+    }
+    return value_.load(order);
+  }
+
+  void store(T desired, std::memory_order order = std::memory_order_seq_cst) {
+    if (detail::in_model()) {
+      detail::yield(detail::OpKind::kAtomicStore, this);
+      value_.store(desired, std::memory_order_relaxed);
+      return;
+    }
+    value_.store(desired, order);
+  }
+
+  T exchange(T desired, std::memory_order order = std::memory_order_seq_cst) {
+    if (detail::in_model()) {
+      detail::yield(detail::OpKind::kAtomicRmw, this);
+      return value_.exchange(desired, std::memory_order_relaxed);
+    }
+    return value_.exchange(desired, order);
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order order = std::memory_order_seq_cst) {
+    if (detail::in_model()) {
+      detail::yield(detail::OpKind::kAtomicRmw, this);
+      return value_.compare_exchange_strong(expected, desired, std::memory_order_relaxed);
+    }
+    return value_.compare_exchange_strong(expected, desired, order);
+  }
+
+  T fetch_add(T arg, std::memory_order order = std::memory_order_seq_cst) {
+    if (detail::in_model()) {
+      detail::yield(detail::OpKind::kAtomicRmw, this);
+      return value_.fetch_add(arg, std::memory_order_relaxed);
+    }
+    return value_.fetch_add(arg, order);
+  }
+
+  T fetch_sub(T arg, std::memory_order order = std::memory_order_seq_cst) {
+    if (detail::in_model()) {
+      detail::yield(detail::OpKind::kAtomicRmw, this);
+      return value_.fetch_sub(arg, std::memory_order_relaxed);
+    }
+    return value_.fetch_sub(arg, order);
+  }
+
+  operator T() const { return load(); }  // NOLINT(google-explicit-constructor)
+  T operator=(T desired) {
+    store(desired);
+    return desired;
+  }
+  T operator++() { return fetch_add(T{1}) + T{1}; }
+  T operator++(int) { return fetch_add(T{1}); }
+  T operator--() { return fetch_sub(T{1}) - T{1}; }
+  T operator--(int) { return fetch_sub(T{1}); }
+  T operator+=(T arg) { return fetch_add(arg) + arg; }
+  T operator-=(T arg) { return fetch_sub(arg) - arg; }
+
+ private:
+  std::atomic<T> value_{};
+};
+
+class thread {
+ public:
+  thread() noexcept = default;
+
+  template <typename Callable, typename = std::enable_if_t<
+                                   !std::is_same_v<std::decay_t<Callable>, thread>>>
+  explicit thread(Callable&& fn) {
+    if (detail::in_model()) {
+      vthread_ = detail::spawn(std::function<void()>(std::forward<Callable>(fn)));
+    } else {
+      real_ = std::thread(std::forward<Callable>(fn));
+    }
+  }
+
+  thread(thread&& other) noexcept : real_(std::move(other.real_)), vthread_(other.vthread_) {
+    other.vthread_ = -1;
+  }
+
+  thread& operator=(thread&& other) noexcept {
+    real_ = std::move(other.real_);
+    vthread_ = other.vthread_;
+    other.vthread_ = -1;
+    return *this;
+  }
+
+  thread(const thread&) = delete;
+  thread& operator=(const thread&) = delete;
+
+  [[nodiscard]] bool joinable() const { return vthread_ != -1 || real_.joinable(); }
+
+  void join() {
+    if (vthread_ != -1) {
+      // -2 marks a spawn that was swallowed by schedule teardown; joining
+      // it is a no-op (detail::join ignores negative ids).
+      detail::join(vthread_);
+      vthread_ = -1;
+      return;
+    }
+    real_.join();
+  }
+
+  static unsigned hardware_concurrency() noexcept { return std::thread::hardware_concurrency(); }
+
+ private:
+  std::thread real_;
+  int vthread_ = -1;  // >= 0 when this handle names a scheduled virtual thread
+};
+
+}  // namespace decloud::dsched
+
+#else  // !DECLOUD_DSCHED — zero-overhead aliases of the std primitives.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace decloud::dsched {
+
+inline constexpr bool kEnabled = false;
+
+using mutex = std::mutex;
+using condition_variable = std::condition_variable;
+template <typename T>
+using atomic = std::atomic<T>;
+using thread = std::thread;
+
+}  // namespace decloud::dsched
+
+#endif  // DECLOUD_DSCHED

@@ -39,7 +39,7 @@ void MarketEngine::defer(Shard& shard, std::size_t shard_index, IngestItem item,
   const std::uint64_t due =
       shard.epochs_started.load(std::memory_order_relaxed) + retry_backoff(attempt);
   {
-    const std::lock_guard<std::mutex> lock(shard.deferred_mutex);
+    const std::lock_guard<dsched::mutex> lock(shard.deferred_mutex);
     shard.deferred.push_back({std::move(item), attempt, due});
   }
   shard.retries_scheduled.fetch_add(1, std::memory_order_relaxed);
@@ -91,7 +91,7 @@ std::size_t MarketEngine::queued_bids() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->queue.size() + shard->market.queued_bids();
-    const std::lock_guard<std::mutex> lock(shard->deferred_mutex);
+    const std::lock_guard<dsched::mutex> lock(shard->deferred_mutex);
     total += shard->deferred.size();
   }
   return total;
@@ -110,7 +110,7 @@ void MarketEngine::run_shard_epoch(std::size_t shard_index, Time now) {
     obs::SpanScope span(shard.sink.get(), "retry_flush");
     std::vector<Deferred> due;
     {
-      const std::lock_guard<std::mutex> lock(shard.deferred_mutex);
+      const std::lock_guard<dsched::mutex> lock(shard.deferred_mutex);
       std::vector<Deferred> later;
       later.reserve(shard.deferred.size());
       for (Deferred& d : shard.deferred) {
@@ -126,7 +126,7 @@ void MarketEngine::run_shard_epoch(std::size_t shard_index, Time now) {
         if (d.attempt < config_.retry.max_attempts) {
           const std::uint64_t next_due = epoch + retry_backoff(d.attempt + 1);
           {
-            const std::lock_guard<std::mutex> lock(shard.deferred_mutex);
+            const std::lock_guard<dsched::mutex> lock(shard.deferred_mutex);
             shard.deferred.push_back({std::move(d.item), d.attempt + 1, next_due});
           }
           shard.retries_scheduled.fetch_add(1, std::memory_order_relaxed);

@@ -19,7 +19,7 @@
 // MarketOrchestrator directly (enforced by tests/engine/).
 #pragma once
 
-#include <atomic>
+#include <atomic>  // std::memory_order constants used with dsched::atomic
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/bounded_queue.hpp"
+#include "dsched/sync.hpp"
 #include "engine/report.hpp"
 #include "engine/shard_router.hpp"
 #include "fault/injector.hpp"
@@ -182,19 +183,19 @@ class MarketEngine {
     /// `market`); null unless EngineConfig::observability.
     std::unique_ptr<obs::MetricsSink> sink;
     // Producer-side counters (atomic: submit runs on producer threads).
-    std::atomic<std::size_t> rejected_backpressure{0};
-    std::atomic<std::size_t> spilled{0};
+    dsched::atomic<std::size_t> rejected_backpressure{0};
+    dsched::atomic<std::size_t> spilled{0};
     /// Per-shard ingest sequence: the FaultSite::index of submit-side
     /// fault decisions (atomic so producers on any thread get distinct
     /// sites).
-    std::atomic<std::uint64_t> ingest_seq{0};
+    dsched::atomic<std::uint64_t> ingest_seq{0};
     /// Epochs started for this shard; read by producers to stamp deferral
     /// due-epochs, written by the (single) consumer at each tick.
-    std::atomic<std::uint64_t> epochs_started{0};
+    dsched::atomic<std::uint64_t> epochs_started{0};
     /// Deferral buffer (guarded: producers park, the consumer flushes).
-    std::mutex deferred_mutex;
+    dsched::mutex deferred_mutex;
     std::vector<Deferred> deferred;
-    std::atomic<std::size_t> retries_scheduled{0};
+    dsched::atomic<std::size_t> retries_scheduled{0};
     // Consumer-side counters (only the scheduler's shard thread touches
     // them).
     std::size_t epochs_run = 0;
@@ -226,7 +227,7 @@ class MarketEngine {
   // unique_ptr: Shard is neither movable nor copyable (queue mutex,
   // orchestrator), and the vector is sized once in the constructor.
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<std::size_t> rejected_unroutable_{0};
+  dsched::atomic<std::size_t> rejected_unroutable_{0};
 };
 
 }  // namespace decloud::engine

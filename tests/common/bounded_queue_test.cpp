@@ -2,8 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <thread>
+#include "dsched/sync.hpp"
 #include <vector>
 
 #include "common/ensure.hpp"
@@ -55,15 +54,59 @@ TEST(BoundedQueueTest, ZeroCapacityIsAPreconditionViolation) {
   EXPECT_THROW(BoundedQueue<int>(0), precondition_error);
 }
 
+// --- Shutdown contract (close()): every push serializes either before
+// --- the close — and then its value MUST surface in a drain — or after
+// --- it, and is rejected with kClosed.  The dsched model queue_close
+// --- checks the same invariant under every interleaving; these pin the
+// --- single-threaded edges.
+
+TEST(BoundedQueueTest, PushAfterCloseIsRejectedWithKClosed) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.push(1).status, Admission::kAccepted);
+  q.close();
+  const auto rejected = q.push(2);
+  EXPECT_EQ(rejected.status, Admission::kRejected);
+  EXPECT_EQ(rejected.reason, RejectReason::kClosed);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueueTest, CloseDoesNotDropQueuedItems) {
+  BoundedQueue<int> q(4);
+  (void)q.push(1);
+  (void)q.push(2);
+  q.close();
+  EXPECT_EQ(q.drain(), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueueTest, CloseIsIdempotentAndDrainStaysUsable) {
+  BoundedQueue<int> q(2);
+  q.close();
+  q.close();  // second close is a no-op
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.push(7).reason, RejectReason::kClosed);
+  EXPECT_TRUE(q.drain().empty());
+  EXPECT_TRUE(q.drain().empty());  // drain after close stays legal
+}
+
+TEST(BoundedQueueTest, ClosedQueueStillReportsCapacityRejectionsAsClosed) {
+  // kClosed wins over kCapacity: the queue checks the shutdown flag
+  // first, so producers see a stable reason during teardown.
+  BoundedQueue<int> q(1);
+  (void)q.push(1);  // full
+  q.close();
+  EXPECT_EQ(q.push(2).reason, RejectReason::kClosed);
+}
+
 TEST(BoundedQueueTest, ConcurrentProducersNeverExceedCapacityOrLoseItems) {
   constexpr std::size_t kCapacity = 64;
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 200;
   BoundedQueue<int> q(kCapacity);
 
-  std::atomic<int> admitted{0};
-  std::atomic<int> rejected{0};
-  std::vector<std::thread> producers;
+  dsched::atomic<int> admitted{0};
+  dsched::atomic<int> rejected{0};
+  std::vector<dsched::thread> producers;
   producers.reserve(kProducers);
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&, p] {
@@ -77,9 +120,9 @@ TEST(BoundedQueueTest, ConcurrentProducersNeverExceedCapacityOrLoseItems) {
     });
   }
   // Single consumer drains concurrently (the MPSC contract).
-  std::atomic<bool> stop{false};
+  dsched::atomic<bool> stop{false};
   std::size_t drained = 0;
-  std::thread consumer([&] {
+  dsched::thread consumer([&] {
     while (!stop.load()) drained += q.drain().size();
   });
   for (auto& t : producers) t.join();

@@ -1,0 +1,130 @@
+// declint:allow-file(raw-sync-primitive) — this test PROVES the wrappers
+// alias the raw std types in default builds, so it must name them.
+
+#include "dsched/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace decloud {
+namespace {
+
+#if defined(DECLOUD_DSCHED) && DECLOUD_DSCHED
+
+// Instrumented build: the wrappers are real classes.  Outside a model
+// run (no explorer active on this thread) every operation must fall
+// through to the real std primitive, so ordinary multithreaded code —
+// including this whole test binary — behaves exactly as in the default
+// build.
+
+TEST(DschedSyncTest, InstrumentedBuildReportsEnabled) { EXPECT_TRUE(dsched::kEnabled); }
+
+TEST(DschedSyncTest, FallbackMutexExcludesConcurrentCriticalSections) {
+  dsched::mutex m;
+  int counter = 0;
+  std::vector<dsched::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(dsched::thread([&] {
+      for (int i = 0; i < 1000; ++i) {
+        const std::lock_guard<dsched::mutex> lock(m);
+        ++counter;
+      }
+    }));
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(DschedSyncTest, FallbackTryLockReflectsOwnership) {
+  dsched::mutex m;
+  EXPECT_TRUE(m.try_lock());
+  dsched::thread other([&] { EXPECT_FALSE(m.try_lock()); });
+  other.join();
+  m.unlock();
+}
+
+TEST(DschedSyncTest, FallbackAtomicOpsMatchStdSemantics) {
+  dsched::atomic<int> a{5};
+  EXPECT_EQ(a.load(), 5);
+  EXPECT_EQ(a.fetch_add(3), 5);
+  EXPECT_EQ(a.load(), 8);
+  EXPECT_EQ(a.exchange(1), 8);
+  int expected = 1;
+  EXPECT_TRUE(a.compare_exchange_strong(expected, 9));
+  EXPECT_EQ(a.load(), 9);
+  expected = 1;
+  EXPECT_FALSE(a.compare_exchange_strong(expected, 0));
+  EXPECT_EQ(expected, 9);
+  a = 2;
+  EXPECT_EQ(++a, 3);
+  EXPECT_EQ(a++, 3);
+  EXPECT_EQ(a += 6, 10);
+  EXPECT_EQ(--a, 9);
+  EXPECT_EQ(static_cast<int>(a), 9);
+}
+
+TEST(DschedSyncTest, FallbackCvWaitWakesOnNotify) {
+  dsched::mutex m;
+  dsched::condition_variable cv;
+  bool ready = false;
+  bool observed = false;
+  dsched::thread waiter([&] {
+    std::unique_lock<dsched::mutex> lock(m);
+    cv.wait(lock, [&] { return ready; });
+    observed = true;
+  });
+  {
+    const std::lock_guard<dsched::mutex> lock(m);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(observed);
+}
+
+TEST(DschedSyncTest, ThreadHandleIsMovableAndJoinable) {
+  dsched::thread t([] {});
+  EXPECT_TRUE(t.joinable());
+  dsched::thread moved(std::move(t));
+  EXPECT_FALSE(t.joinable());  // NOLINT(bugprone-use-after-move): post-move state is specified
+  EXPECT_TRUE(moved.joinable());
+  moved.join();
+  EXPECT_FALSE(moved.joinable());
+  EXPECT_GE(dsched::thread::hardware_concurrency(), 0u);
+}
+
+#else  // !DECLOUD_DSCHED
+
+// Default build: zero overhead means the wrappers ARE the std types —
+// not lookalikes, the very same types.  Any accidental indirection
+// would break these at compile time.
+
+TEST(DschedSyncTest, DefaultBuildReportsDisabled) { EXPECT_FALSE(dsched::kEnabled); }
+
+static_assert(std::is_same_v<dsched::mutex, std::mutex>,
+              "dsched::mutex must alias std::mutex in default builds");
+static_assert(std::is_same_v<dsched::condition_variable, std::condition_variable>,
+              "dsched::condition_variable must alias std::condition_variable");
+static_assert(std::is_same_v<dsched::atomic<int>, std::atomic<int>>,
+              "dsched::atomic must alias std::atomic in default builds");
+static_assert(std::is_same_v<dsched::atomic<std::size_t>, std::atomic<std::size_t>>,
+              "dsched::atomic must alias std::atomic in default builds");
+static_assert(std::is_same_v<dsched::thread, std::thread>,
+              "dsched::thread must alias std::thread in default builds");
+
+TEST(DschedSyncTest, AliasesAreTheStdTypes) {
+  // The static_asserts above are the real test; this keeps the suite
+  // non-empty so a filter on DschedSyncTest always runs something.
+  SUCCEED();
+}
+
+#endif  // DECLOUD_DSCHED
+
+}  // namespace
+}  // namespace decloud

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
+#include "dsched/sync.hpp"
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -21,7 +21,7 @@ TEST(ThreadPoolTest, DefaultWorkersIsAtLeastOne) {
 
 TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
   ThreadPool pool(4);
-  std::atomic<int> calls{0};
+  dsched::atomic<int> calls{0};
   pool.parallel_for(5, 5, 2, [&](std::size_t) { ++calls; });
   pool.parallel_for(7, 3, 2, [&](std::size_t) { ++calls; });  // begin > end
   EXPECT_EQ(calls.load(), 0);
@@ -30,28 +30,28 @@ TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
 TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   constexpr std::size_t kN = 1000;
-  std::vector<std::atomic<int>> hits(kN);
+  std::vector<dsched::atomic<int>> hits(kN);
   pool.parallel_for(0, kN, 7, [&](std::size_t i) { ++hits[i]; });
   for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
 }
 
 TEST(ThreadPoolTest, ChunkLargerThanRange) {
   ThreadPool pool(4);
-  std::atomic<int> calls{0};
+  dsched::atomic<int> calls{0};
   pool.parallel_for(10, 13, 100, [&](std::size_t) { ++calls; });
   EXPECT_EQ(calls.load(), 3);
 }
 
 TEST(ThreadPoolTest, ChunkZeroIsClampedToOne) {
   ThreadPool pool(2);
-  std::vector<std::atomic<int>> hits(8);
+  std::vector<dsched::atomic<int>> hits(8);
   pool.parallel_for(0, 8, 0, [&](std::size_t i) { ++hits[i]; });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPoolTest, NonZeroBeginOffsetsIndices) {
   ThreadPool pool(3);
-  std::atomic<std::size_t> sum{0};
+  dsched::atomic<std::size_t> sum{0};
   pool.parallel_for(100, 110, 3, [&](std::size_t i) { sum += i; });
   EXPECT_EQ(sum.load(), std::size_t{1045});  // 100 + 101 + ... + 109
 }
@@ -88,14 +88,14 @@ TEST(ThreadPoolTest, PoolSurvivesExceptionAndRemainsUsable) {
   EXPECT_THROW(
       pool.parallel_for(0, 10, 1, [](std::size_t) { throw std::logic_error("once"); }),
       std::logic_error);
-  std::atomic<int> calls{0};
+  dsched::atomic<int> calls{0};
   pool.parallel_for(0, 10, 1, [&](std::size_t) { ++calls; });
   EXPECT_EQ(calls.load(), 10);
 }
 
 TEST(ThreadPoolTest, AutoChunkOverloadCoversRange) {
   ThreadPool pool(3);
-  std::vector<std::atomic<int>> hits(257);
+  std::vector<dsched::atomic<int>> hits(257);
   pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
@@ -106,7 +106,7 @@ TEST(ThreadPoolTest, AutoChunkOverloadCoversRange) {
 
 TEST(ThreadPoolTest, NestedParallelForOnSingleWorkerPoolDoesNotDeadlock) {
   ThreadPool pool(1);
-  std::vector<std::atomic<int>> hits(64);
+  std::vector<dsched::atomic<int>> hits(64);
   pool.parallel_for(0, 8, 1, [&](std::size_t outer) {
     pool.parallel_for(0, 8, 1, [&](std::size_t inner) { ++hits[outer * 8 + inner]; });
   });
@@ -115,7 +115,7 @@ TEST(ThreadPoolTest, NestedParallelForOnSingleWorkerPoolDoesNotDeadlock) {
 
 TEST(ThreadPoolTest, NestedParallelForOnMultiWorkerPoolCoversRange) {
   ThreadPool pool(4);
-  std::vector<std::atomic<int>> hits(25 * 25);
+  std::vector<dsched::atomic<int>> hits(25 * 25);
   pool.parallel_for(0, 25, 3, [&](std::size_t outer) {
     pool.parallel_for(0, 25, 3, [&](std::size_t inner) { ++hits[outer * 25 + inner]; });
   });
@@ -132,14 +132,14 @@ TEST(ThreadPoolTest, NestedExceptionPropagatesThroughBothLevels) {
                                  }),
                std::runtime_error);
   // The pool stays usable afterwards.
-  std::atomic<int> calls{0};
+  dsched::atomic<int> calls{0};
   pool.parallel_for(0, 6, 1, [&](std::size_t) { ++calls; });
   EXPECT_EQ(calls.load(), 6);
 }
 
 TEST(RunChunkedTest, NestedRunChunkedOnSamePoolCompletes) {
   ThreadPool pool(2);
-  std::vector<std::atomic<int>> hits(12 * 12);
+  std::vector<dsched::atomic<int>> hits(12 * 12);
   run_chunked(&pool, 0, 12, [&](std::size_t outer) {
     run_chunked(&pool, 0, 12, [&](std::size_t inner) { ++hits[outer * 12 + inner]; });
   });
@@ -161,7 +161,7 @@ TEST(RunChunkedTest, SingleWorkerPoolRunsSeriallyInOrder) {
 
 TEST(RunChunkedTest, MultiWorkerPoolCoversRange) {
   ThreadPool pool(4);
-  std::vector<std::atomic<int>> hits(100);
+  std::vector<dsched::atomic<int>> hits(100);
   run_chunked(&pool, 0, hits.size(), [&](std::size_t i) { ++hits[i]; });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }

@@ -1,0 +1,258 @@
+// Self-tests for the dsched explorer (DESIGN.md §3i): known-racy bodies
+// must have ALL their outcomes surfaced, known bugs (lost update, AB-BA
+// deadlock, lost wakeup, livelock) must be caught with a replayable and
+// minimizable certificate, and exploration must be byte-deterministic
+// from its seed.  Suite names carry the lowercase "dsched" prefix so
+// `ctest -R dsched` selects exactly the model-checking tier.
+
+#include "dsched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "dsched/sync.hpp"
+
+namespace decloud::dsched {
+namespace {
+
+Options exhaustive() {
+  Options options;
+  options.mode = Options::Mode::kExhaustive;
+  options.max_schedules = 100000;
+  options.max_steps = 2000;
+  return options;
+}
+
+// Two threads each do a read-modify-write of a shared counter as
+// separate load and store yield points, so schedules exist where an
+// update is lost.  Exploration must surface BOTH final values.
+std::function<void()> racy_counter_body(std::shared_ptr<std::set<int>> outcomes) {
+  return [outcomes] {
+    dsched::atomic<int> counter{0};
+    const auto bump = [&] {
+      const int seen = counter.load();
+      counter.store(seen + 1);
+    };
+    dsched::thread a(bump);
+    dsched::thread b(bump);
+    a.join();
+    b.join();
+    outcomes->insert(counter.load());
+  };
+}
+
+TEST(dsched_scheduler, RacyCounterSurfacesEveryOutcome) {
+  auto outcomes = std::make_shared<std::set<int>>();
+  const RunResult result = explore(exhaustive(), racy_counter_body(outcomes));
+  EXPECT_FALSE(result.failed) << result.failure;
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(*outcomes, (std::set<int>{1, 2}))
+      << "exploration missed an interleaving of the racy counter";
+  std::cout << "[dsched] racy counter: " << result.schedules << " schedules, " << result.pruned
+            << " pruned\n";
+}
+
+// The same race, but asserted on: exploration must find a failing
+// schedule, hand back a certificate, and the certificate must replay
+// and minimize to the same failure.
+std::function<void()> lost_update_body() {
+  return [] {
+    dsched::atomic<int> counter{0};
+    const auto bump = [&] {
+      const int seen = counter.load();
+      counter.store(seen + 1);
+    };
+    dsched::thread a(bump);
+    dsched::thread b(bump);
+    a.join();
+    b.join();
+    check(counter.load() == 2, "lost update");
+  };
+}
+
+TEST(dsched_scheduler, FailingScheduleYieldsReplayableCertificate) {
+  const RunResult found = explore(exhaustive(), lost_update_body());
+  ASSERT_TRUE(found.failed);
+  EXPECT_NE(found.failure.find("lost update"), std::string::npos) << found.failure;
+  ASSERT_FALSE(found.certificate.empty());
+  EXPECT_EQ(found.certificate.rfind("dsched1;", 0), 0u) << found.certificate;
+
+  const RunResult replayed = replay(found.certificate, lost_update_body());
+  EXPECT_TRUE(replayed.failed) << "certificate did not reproduce the failure";
+  EXPECT_FALSE(replayed.diverged);
+  EXPECT_NE(replayed.failure.find("lost update"), std::string::npos) << replayed.failure;
+}
+
+TEST(dsched_scheduler, MinimizedCertificateStillReproduces) {
+  const RunResult found = explore(exhaustive(), lost_update_body());
+  ASSERT_TRUE(found.failed);
+  const std::string minimized = minimize(found.certificate, lost_update_body());
+  EXPECT_EQ(minimized.rfind("dsched1;", 0), 0u) << minimized;
+  const RunResult replayed = replay(minimized, lost_update_body());
+  EXPECT_TRUE(replayed.failed);
+  EXPECT_FALSE(replayed.diverged);
+  EXPECT_LE(minimized.size(), found.certificate.size());
+}
+
+TEST(dsched_scheduler, AbBaDeadlockIsDetected) {
+  const auto body = [] {
+    dsched::mutex a;
+    dsched::mutex b;
+    dsched::thread t([&] {
+      const std::lock_guard<dsched::mutex> hold_b(b);
+      const std::lock_guard<dsched::mutex> hold_a(a);
+    });
+    {
+      const std::lock_guard<dsched::mutex> hold_a(a);
+      const std::lock_guard<dsched::mutex> hold_b(b);
+    }
+    t.join();
+  };
+  const RunResult result = explore(exhaustive(), body);
+  ASSERT_TRUE(result.failed);
+  EXPECT_NE(result.failure.find("deadlock"), std::string::npos) << result.failure;
+  const RunResult replayed = replay(result.certificate, body);
+  EXPECT_TRUE(replayed.failed);
+  EXPECT_NE(replayed.failure.find("deadlock"), std::string::npos) << replayed.failure;
+}
+
+TEST(dsched_scheduler, LostWakeupIsDetected) {
+  // Classic bug: the signaller flips the flag and notifies WITHOUT
+  // holding the waiter's mutex, so a schedule exists where the notify
+  // lands between the waiter's flag check and its park — and is lost.
+  const auto body = [] {
+    dsched::mutex m;
+    dsched::condition_variable cv;
+    dsched::atomic<bool> flag{false};
+    dsched::thread waiter([&] {
+      std::unique_lock<dsched::mutex> lock(m);
+      if (!flag.load()) cv.wait(lock);  // also buggy: `if`, not `while`
+    });
+    dsched::thread signaller([&] {
+      flag.store(true);
+      cv.notify_one();
+    });
+    waiter.join();
+    signaller.join();
+  };
+  const RunResult result = explore(exhaustive(), body);
+  ASSERT_TRUE(result.failed);
+  EXPECT_NE(result.failure.find("lost wakeup"), std::string::npos) << result.failure;
+}
+
+TEST(dsched_scheduler, LivelockBudgetIsReported) {
+  Options options = exhaustive();
+  options.max_steps = 200;
+  const auto body = [] {
+    dsched::atomic<bool> flag{false};
+    dsched::thread spinner([&] {
+      while (!flag.load()) {  // nobody ever sets the flag
+      }
+    });
+    spinner.join();
+  };
+  const RunResult result = explore(options, body);
+  ASSERT_TRUE(result.failed);
+  EXPECT_NE(result.failure.find("livelock"), std::string::npos) << result.failure;
+}
+
+TEST(dsched_scheduler, SleepSetsPruneWithoutChangingTheVerdict) {
+  const auto make_body = [] {
+    return [] {
+      // Two threads touching DIFFERENT objects: a reduction goldmine.
+      dsched::atomic<int> x{0};
+      dsched::atomic<int> y{0};
+      dsched::thread a([&] {
+        x.store(1);
+        x.store(2);
+      });
+      dsched::thread b([&] {
+        y.store(1);
+        y.store(2);
+      });
+      a.join();
+      b.join();
+      check(x.load() == 2 && y.load() == 2, "independent writers corrupted each other");
+    };
+  };
+  Options reduced = exhaustive();
+  Options unreduced = exhaustive();
+  unreduced.sleep_sets = false;
+  const RunResult with = explore(reduced, make_body());
+  const RunResult without = explore(unreduced, make_body());
+  EXPECT_FALSE(with.failed) << with.failure;
+  EXPECT_FALSE(without.failed) << without.failure;
+  EXPECT_TRUE(with.complete);
+  EXPECT_TRUE(without.complete);
+  EXPECT_LT(with.schedules, without.schedules)
+      << "sleep sets should prune commuting interleavings";
+  std::cout << "[dsched] sleep sets: " << with.schedules << " schedules vs " << without.schedules
+            << " unreduced\n";
+}
+
+TEST(dsched_scheduler, PctIsDeterministicFromItsSeed) {
+  Options options;
+  options.mode = Options::Mode::kPct;
+  options.seed = 2026;
+  options.max_schedules = 50;
+  options.max_steps = 2000;
+  const RunResult first = explore(options, lost_update_body());
+  const RunResult second = explore(options, lost_update_body());
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_EQ(first.failed, second.failed);
+  EXPECT_EQ(first.certificate, second.certificate);
+
+  options.seed = 2027;
+  const RunResult other = explore(options, lost_update_body());
+  EXPECT_NE(first.trace_hash, other.trace_hash)
+      << "different seeds should explore different schedule samples";
+}
+
+TEST(dsched_scheduler, PctFindsTheLostUpdate) {
+  Options options;
+  options.mode = Options::Mode::kPct;
+  options.seed = 3;
+  options.max_schedules = 500;
+  options.max_steps = 2000;
+  const RunResult result = explore(options, lost_update_body());
+  EXPECT_TRUE(result.failed) << "500 PCT schedules should hit a depth-1 race";
+  if (result.failed) {
+    const RunResult replayed = replay(result.certificate, lost_update_body());
+    EXPECT_TRUE(replayed.failed);
+    EXPECT_FALSE(replayed.diverged);
+  }
+}
+
+TEST(dsched_scheduler, CertificateRoundTrips) {
+  const std::string certificate =
+      format_certificate(Options::Mode::kPct, 42, 3, {0, 1, 1, 2, 0});
+  EXPECT_EQ(certificate, "dsched1;mode=pct;seed=42;threads=3;choices=0,1,1,2,0");
+  const Options parsed = parse_certificate(certificate);
+  EXPECT_EQ(parsed.mode, Options::Mode::kReplay);
+  EXPECT_EQ(parsed.seed, 42u);
+  EXPECT_EQ(parsed.replay_choices, (std::vector<int>{0, 1, 1, 2, 0}));
+}
+
+TEST(dsched_scheduler, MalformedCertificatesAreRejected) {
+  EXPECT_THROW(parse_certificate(""), std::invalid_argument);
+  EXPECT_THROW(parse_certificate("dsched2;choices=1"), std::invalid_argument);
+  EXPECT_THROW(parse_certificate("dsched1;seed=1"), std::invalid_argument);
+  EXPECT_THROW(parse_certificate("dsched1;bogus=1;choices=0"), std::invalid_argument);
+}
+
+TEST(dsched_scheduler, ReplayReportsDivergence) {
+  // A single-threaded body can never honour a choice of vthread 5.
+  const RunResult result =
+      replay("dsched1;mode=replay;seed=1;threads=1;choices=5", [] {
+        dsched::atomic<int> x{0};
+        x.store(1);
+      });
+  EXPECT_TRUE(result.failed);
+  EXPECT_TRUE(result.diverged);
+}
+
+}  // namespace
+}  // namespace decloud::dsched

@@ -79,6 +79,12 @@ constexpr Rule kRules[] = {
      "#pragma omp: OpenMP scheduling is nondeterministic; all parallelism goes through "
      "common/thread_pool's deterministic static chunking",
      "use decloud::ThreadPool / run_chunked (common/thread_pool.hpp)"},
+    {"raw-sync-primitive",
+     "raw std sync primitive (std::mutex, std::condition_variable, std::atomic, std::thread, "
+     "std::this_thread, ...) outside src/dsched/: concurrency must go through the dsched "
+     "wrappers so the systematic interleaving explorer can drive every schedule",
+     "use dsched::mutex / dsched::condition_variable / dsched::atomic<T> / dsched::thread "
+     "(src/dsched/sync.hpp) — zero-overhead std aliases unless DECLOUD_DSCHED=ON"},
     {"entry-ensure",
      "public mechanism entry point lacks an ENSURE-style check (DECLOUD_EXPECTS / "
      "DECLOUD_ENSURES / validate / audit): preconditions must fail loudly at the boundary",
@@ -364,6 +370,7 @@ class Linter {
     check_float_reduce(f);
     check_naked_new(f);
     check_omp(f);
+    check_raw_sync(f);
     check_entry_points(f);
   }
 
@@ -532,6 +539,31 @@ class Linter {
       if (tok.kind == Token::Kind::kPragma && tok.text.find("omp") != std::string::npos) {
         report(f, tok.line, "omp-pragma", "OpenMP pragma");
       }
+    }
+  }
+
+  void check_raw_sync(const FileScan& f) {
+    // src/dsched/ is the one sanctioned home for raw primitives: the
+    // wrappers live there, and the scheduler itself must not be a model.
+    if (path_contains(f.path, "src/dsched/")) return;
+    // Lock adapters (lock_guard, unique_lock, scoped_lock) are NOT
+    // flagged: they are templated over the mutex type and work on
+    // dsched::mutex unchanged.  memory_order constants are fine too.
+    static const std::set<std::string> kRawSync = {
+        "mutex",        "timed_mutex",          "recursive_mutex",
+        "shared_mutex", "recursive_timed_mutex", "shared_timed_mutex",
+        "condition_variable", "condition_variable_any",
+        "atomic",       "atomic_flag",          "atomic_bool",
+        "atomic_ref",   "thread",               "jthread",
+        "this_thread",  "counting_semaphore",   "binary_semaphore",
+        "latch",        "barrier"};
+    const auto& t = f.tokens;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].kind != Token::Kind::kIdent || t[i].text != "std") continue;
+      if (t[i + 1].text != "::") continue;
+      if (t[i + 2].kind != Token::Kind::kIdent || !kRawSync.count(t[i + 2].text)) continue;
+      report(f, t[i + 2].line, "raw-sync-primitive",
+             "raw 'std::" + t[i + 2].text + "' outside src/dsched/");
     }
   }
 

@@ -1,0 +1,30 @@
+// Seeded declint fixture: src/dsched/ is the sanctioned home for raw
+// primitives (the wrappers themselves must be built from something), so
+// this file — a miniature of sync.hpp's shape — must scan clean even
+// though it names every primitive the raw-sync-primitive rule bans
+// elsewhere.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture::dsched {
+
+class mutex {
+  std::mutex real_;  // sanctioned: inside src/dsched/
+};
+
+class condition_variable {
+  std::condition_variable real_;  // sanctioned: inside src/dsched/
+};
+
+template <typename T>
+class atomic {
+  std::atomic<T> value_{};  // sanctioned: inside src/dsched/
+};
+
+class thread {
+  std::thread real_;  // sanctioned: inside src/dsched/
+};
+
+}  // namespace fixture::dsched

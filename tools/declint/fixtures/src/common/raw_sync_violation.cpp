@@ -1,0 +1,25 @@
+// Seeded declint fixture: raw std sync primitives outside src/dsched/.
+// Every declaration below must trip the raw-sync-primitive rule — the
+// dsched explorer cannot drive schedules through primitives it does not
+// wrap, so a raw primitive on an engine path silently shrinks the
+// checked interleaving space to one.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+struct RawQueue {
+  std::mutex mutex_;                  // finding: raw-sync-primitive
+  std::condition_variable cv_;        // finding: raw-sync-primitive
+  std::atomic<int> depth_{0};         // finding: raw-sync-primitive
+};
+
+inline void raw_worker() {
+  std::thread worker([] {});          // finding: raw-sync-primitive
+  std::this_thread::yield();          // finding: raw-sync-primitive
+  worker.join();
+}
+
+}  // namespace fixture
