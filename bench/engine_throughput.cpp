@@ -1,6 +1,6 @@
 // Machine-readable throughput benchmark for the sharded engine.
 //
-// Emits one JSON document (schema decloud-engine-bench-v3) timing a full
+// Emits one JSON document (schema decloud-engine-bench-v4) timing a full
 // trace-driven engine run — submission, epoch scheduling, resubmission
 // tail — at each (shard count, thread count) pair, reporting bids/sec so
 // bench/trajectory/ can track cross-shard scaling the same way
@@ -8,6 +8,7 @@
 //
 // Usage: engine_throughput [--rounds N] [--shards a,b,c] [--threads a,b,c]
 //                          [--requests N] [--mode batch|stream|both]
+//                          [--journal on|off]
 //   --rounds    timing repetitions per entry; the MINIMUM time (max
 //               bids/sec) is reported (default 3)
 //   --shards    comma-separated shard counts (default "1,4,16")
@@ -19,6 +20,10 @@
 //               on the same boundary (so the work content is identical and
 //               the delta is pure ingest/trigger overhead), "both" times
 //               the two side by side (default "batch")
+//   --journal   "on" records every run into a live flight recorder
+//               (journal_capacity 65536), "off" leaves the hooks at their
+//               one-pointer-test cost (default "off"); the header records
+//               which, so trajectory points stay comparable
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -51,7 +56,7 @@ std::vector<std::size_t> parse_counts(const char* arg) {
   return out;
 }
 
-engine::EngineConfig engine_config(std::size_t shards) {
+engine::EngineConfig engine_config(std::size_t shards, std::size_t journal_capacity) {
   engine::EngineConfig config;
   config.router.num_shards = shards;
   config.router.x0 = 0.0;
@@ -63,6 +68,7 @@ engine::EngineConfig engine_config(std::size_t shards) {
   config.market.consensus.difficulty_bits = 8;  // simulation-scale PoW
   config.market.num_verifiers = 1;
   config.market.consensus.auction.threads = 1;  // parallelism across shards
+  config.journal_capacity = journal_capacity;
   return config;
 }
 
@@ -83,6 +89,7 @@ int main(int argc, char** argv) {
   int rounds = 3;
   std::size_t num_requests = 2048;
   std::string mode = "batch";
+  bool journal = false;
   std::vector<std::size_t> shard_counts = {1, 4, 16};
   std::vector<std::size_t> thread_counts = {1, ThreadPool::default_workers()};
   for (int i = 1; i < argc; ++i) {
@@ -100,10 +107,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--mode must be batch, stream, or both\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      journal = std::strcmp(argv[++i], "on") == 0;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--rounds N] [--shards a,b,c] [--threads a,b,c] [--requests N] "
-                   "[--mode batch|stream|both]\n",
+                   "[--mode batch|stream|both] [--journal on|off]\n",
                    argv[0]);
       return 2;
     }
@@ -119,6 +128,7 @@ int main(int argc, char** argv) {
   driver.bids_per_epoch = num_requests / 4;  // streamed in 6 batches
   driver.seed = 2;
 
+  const std::size_t journal_capacity = journal ? std::size_t{65536} : std::size_t{0};
   std::vector<Entry> entries;
   obs::SteadyClock clock;  // the sanctioned wall-clock source (src/obs)
   for (const std::size_t shards : shard_counts) {
@@ -129,7 +139,7 @@ int main(int argc, char** argv) {
         std::size_t epochs = 0;
         std::size_t bids = 0;
         for (int round = 0; round < rounds; ++round) {
-          engine::MarketEngine market_engine(engine_config(shards));
+          engine::MarketEngine market_engine(engine_config(shards, journal_capacity));
           engine::EpochScheduler scheduler(market_engine, threads);
           const std::uint64_t t0 = clock.now_ns();
           const engine::DriveOutcome outcome = drive_trace(market_engine, scheduler, driver);
@@ -149,7 +159,7 @@ int main(int argc, char** argv) {
         std::size_t bids = 0;
         for (int round = 0; round < rounds; ++round) {
           stream::StreamConfig stream_config;
-          stream_config.engine = engine_config(shards);
+          stream_config.engine = engine_config(shards, journal_capacity);
           stream_config.triggers.bids = driver.bids_per_epoch;  // batch-aligned
           stream_config.threads = threads;
           stream_config.start_time = driver.start_time;
@@ -171,11 +181,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf("{\n");
-  std::printf("  \"schema\": \"decloud-engine-bench-v3\",\n");
+  std::printf("  \"schema\": \"decloud-engine-bench-v4\",\n");
   std::printf("  \"hardware_concurrency\": %zu,\n", ThreadPool::default_workers());
   // Instrumented (DECLOUD_DSCHED=ON) numbers are not comparable to
   // production numbers; the field lets perf dashboards partition them.
   std::printf("  \"dsched\": \"%s\",\n", dsched::kEnabled ? "on" : "off");
+  // Whether every timed run recorded into a live flight recorder.
+  std::printf("  \"journal\": \"%s\",\n", journal ? "on" : "off");
   std::printf("  \"rounds\": %d,\n", rounds);
   std::printf("  \"requests\": %zu,\n", num_requests);
   std::printf("  \"results\": [\n");

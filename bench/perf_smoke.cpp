@@ -21,10 +21,15 @@
 //   * engine_no_injector / engine_null_injector — a 1-shard engine drive
 //     with no FaultInjector vs. an active plan whose rules never fire
 //     (p=0), pinning the fault-hook overhead (DESIGN.md §3f, same ≤2%
+//     budget);
+//   * engine_null_journal / engine_live_journal — the same 1-shard drive
+//     with no flight recorder (journal hooks pay one pointer test) vs. a
+//     live journal recording every event (DESIGN.md §3j, same ≤2%
 //     budget).
 //
 // Usage: perf_smoke [--rounds N] [--threads a,b,c] [--shards a,b,c]
 //                   [--requests N] [--offers N] [--matching-only]
+//                   [--journal on|off]
 //   --rounds   timing repetitions per entry; the MINIMUM is reported
 //              (default 5)
 //   --threads  comma-separated thread counts for the parallel entries
@@ -38,6 +43,9 @@
 //   --matching-only  emit only the matching_* entries (skips the mechanism
 //              and engine sections, whose sizes stay fixed for trajectory
 //              comparability)
+//   --journal  include the flight-recorder overhead pair (default "on";
+//              "off" skips it — the header records which, so trajectory
+//              points stay machine-readably comparable)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -100,13 +108,15 @@ struct Entry {
 };
 
 void emit(const std::vector<Entry>& entries, int rounds,
-          const std::vector<std::size_t>& thread_counts) {
+          const std::vector<std::size_t>& thread_counts, bool journal) {
   std::printf("{\n");
-  std::printf("  \"schema\": \"decloud-perf-smoke-v4\",\n");
+  std::printf("  \"schema\": \"decloud-perf-smoke-v5\",\n");
   std::printf("  \"hardware_concurrency\": %zu,\n", ThreadPool::default_workers());
   // Instrumented (DECLOUD_DSCHED=ON) numbers are not comparable to
   // production numbers; the field lets perf dashboards partition them.
   std::printf("  \"dsched\": \"%s\",\n", dsched::kEnabled ? "on" : "off");
+  // Whether the flight-recorder overhead pair ran in this capture.
+  std::printf("  \"journal\": \"%s\",\n", journal ? "on" : "off");
   // The sweep actually run, so a point captured on a small box is
   // machine-readably distinguishable from one that exercised real cores.
   std::printf("  \"thread_sweep\": [");
@@ -152,6 +162,7 @@ int main(int argc, char** argv) {
   std::size_t matching_requests = 256;
   std::size_t matching_offers = 0;  // 0 = requests / 2
   bool matching_only = false;
+  bool journal = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
       rounds = std::max(1, std::atoi(argv[++i]));
@@ -165,10 +176,13 @@ int main(int argc, char** argv) {
       matching_offers = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--matching-only") == 0) {
       matching_only = true;
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      journal = std::strcmp(argv[++i], "off") != 0;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--rounds N] [--threads a,b,c] [--shards a,b,c]\n"
-                   "          [--requests N] [--offers N] [--matching-only]\n",
+                   "          [--requests N] [--offers N] [--matching-only]\n"
+                   "          [--journal on|off]\n",
                    argv[0]);
       return 2;
     }
@@ -231,7 +245,7 @@ int main(int argc, char** argv) {
   }
 
   if (matching_only) {
-    emit(entries, rounds, thread_counts);
+    emit(entries, rounds, thread_counts, journal);
     return 0;
   }
 
@@ -317,6 +331,44 @@ int main(int argc, char** argv) {
                                 "reject_ingest:p=0;corrupt_sealed_bid:p=0")});
   }
 
+  // --- flight-recorder overhead: the same 1-shard engine drive with no
+  // journal (every hook pays one null-pointer test) vs. a live journal
+  // recording every event into its bounded rings.  Compare the pair in
+  // bench/trajectory/: live must stay within ~2% of null (DESIGN.md §3j)
+  // so soak runs can leave the recorder on.
+  if (journal) {
+    engine::TraceDriverConfig driver;
+    driver.workload.num_requests = 512;
+    driver.workload.num_offers = 256;
+    driver.located_fraction = 0.9;
+    driver.bids_per_epoch = 192;
+    driver.seed = 8;
+
+    const auto drive_ms = [&](std::size_t journal_capacity) {
+      engine::EngineConfig config;
+      config.router.num_shards = 1;
+      config.router.x1 = 100.0;
+      config.router.y1 = 100.0;
+      config.queue_capacity = SIZE_MAX / 2;
+      config.queue_watermark = SIZE_MAX / 2;
+      config.market.consensus.difficulty_bits = 8;
+      config.market.num_verifiers = 1;
+      config.market.consensus.auction.threads = 1;
+      config.journal_capacity = journal_capacity;
+      return time_min_ms(rounds, [&] {
+        engine::MarketEngine market_engine(config);
+        engine::EpochScheduler scheduler(market_engine, 1);
+        volatile auto sink = drive_trace(market_engine, scheduler, driver).bids_generated;
+        (void)sink;
+      });
+    };
+
+    entries.push_back({"engine_null_journal", driver.workload.num_requests,
+                       driver.workload.num_offers, 1, drive_ms(0)});
+    entries.push_back({"engine_live_journal", driver.workload.num_requests,
+                       driver.workload.num_offers, 1, drive_ms(65536)});
+  }
+
   // --- sharded engine end to end (cross-shard axis).
   for (const std::size_t shards : shard_counts) {
     if (shards == 0) continue;  // 0 = skip the engine section
@@ -352,6 +404,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  emit(entries, rounds, thread_counts);
+  emit(entries, rounds, thread_counts, journal);
   return 0;
 }

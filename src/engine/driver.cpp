@@ -73,8 +73,16 @@ DriveOutcome drive_trace(MarketEngine& engine, EpochScheduler& scheduler,
   Time now = config.start_time;
   for (std::size_t done = 0; done < order.size();) {
     const std::size_t stop = std::min(order.size(), done + batch);
+    const std::uint64_t submitted = stop - done;
     for (; done < stop; ++done) submit_one(order[done]);
-    scheduler.tick(now);
+    // Journal attribution mirroring the streaming triggers: a full batch
+    // is what the bid-count trigger would have fired on; a short final
+    // batch (or the single whole-trace batch) is a flush.  Keeps aligned
+    // batch/stream runs byte-identical in the journal.
+    const journal::CloseReason reason = config.bids_per_epoch != 0 && submitted == batch
+                                            ? journal::CloseReason::kBidCount
+                                            : journal::CloseReason::kFlush;
+    scheduler.tick(now, reason, submitted);
     now += config.epoch_interval;
   }
   scheduler.run(config.drain_epochs, now, config.epoch_interval);

@@ -40,6 +40,15 @@
 //   --watermark K       close a micro-epoch when the stream's logical
 //                       clock advances K ticks since the last close
 //                       (stream mode; 0 = off)
+//   --journal-out PATH  record the market flight recorder (DESIGN.md §3j)
+//                       and write its binary encoding ("-" = stdout); the
+//                       bytes are identical for any --threads value and
+//                       for aligned batch/stream runs (inspect with
+//                       tools/journal_query).  Also merges the journal's
+//                       economic telemetry sink into the metrics exports.
+//   --journal-limit N   per-ring journal capacity in events (default
+//                       65536); overflowing rings drop their OLDEST
+//                       events and count the drops
 //
 // A fault plan does not break determinism: the same plan + seed yields
 // byte-identical exports at any --threads value (the CI chaos job diffs
@@ -47,16 +56,19 @@
 //
 // The engine report summary always goes to stdout (unless "-" routed an
 // export there), so existing report-diff tooling keeps working.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "auction/config.hpp"
 #include "engine/driver.hpp"
 #include "engine/engine.hpp"
 #include "engine/epoch_scheduler.hpp"
 #include "fault/fault.hpp"
+#include "journal/journal.hpp"
 #include "obs/clock.hpp"
 #include "stream/stream_driver.hpp"
 #include "stream/streaming_market.hpp"
@@ -82,6 +94,23 @@ bool write_out(const char* path, const std::string& content) {
   return true;
 }
 
+/// Raw bytes, no trailing newline: journal files are byte-compared with
+/// cmp(1), so the file must be exactly Journal::encode().
+bool write_binary(const char* path, const std::vector<std::uint8_t>& bytes) {
+  if (std::strcmp(path, "-") == 0) {
+    std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "engine_driver: cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,6 +131,8 @@ int main(int argc, char** argv) {
   bool stream_mode = false;
   std::size_t microepoch_bids = SIZE_MAX;  // SIZE_MAX = default to bids_per_epoch
   std::size_t watermark = 0;
+  const char* journal_out = nullptr;
+  std::size_t journal_limit = 65536;
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -143,6 +174,10 @@ int main(int argc, char** argv) {
       microepoch_bids = std::strtoul(next(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--watermark") == 0) {
       watermark = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--journal-out") == 0) {
+      journal_out = next();
+    } else if (std::strcmp(argv[i], "--journal-limit") == 0) {
+      journal_limit = std::strtoul(next(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--scoring") == 0) {
       const char* mode = next();
       if (std::strcmp(mode, "auto") == 0) {
@@ -162,7 +197,8 @@ int main(int argc, char** argv) {
                    "          [--prom-out PATH] [--trace-out PATH] [--wallclock]\n"
                    "          [--fault-plan SPEC] [--fault-seed N] [--retry-attempts N]\n"
                    "          [--scoring auto|dense|pruned]\n"
-                   "          [--stream] [--microepoch-bids N] [--watermark K]\n",
+                   "          [--stream] [--microepoch-bids N] [--watermark K]\n"
+                   "          [--journal-out PATH] [--journal-limit N]\n",
                    argv[0]);
       return 2;
     }
@@ -190,6 +226,13 @@ int main(int argc, char** argv) {
   config.clock = wallclock ? &steady : nullptr;
   config.retry.max_attempts = retry_attempts;
   config.fault_seed = fault_seed;
+  if (journal_out != nullptr) {
+    if (journal_limit == 0) {
+      std::fprintf(stderr, "engine_driver: --journal-limit must be >= 1\n");
+      return 2;
+    }
+    config.journal_capacity = journal_limit;
+  }
   if (fault_plan != nullptr) {
     try {
       config.fault_plan = fault::FaultPlan::parse(fault_plan);
@@ -222,8 +265,21 @@ int main(int argc, char** argv) {
     stream::StreamingMarket market(std::move(stream_config));
     const stream::StreamDriveOutcome outcome = drive_trace_stream(market, driver);
 
-    if (metrics_out != nullptr && !write_out(metrics_out, market.metrics_json())) return 1;
-    if (prom_out != nullptr && !write_out(prom_out, market.metrics_prometheus())) return 1;
+    const journal::Journal* journal = market.market_engine().journal();
+    if (journal != nullptr) {
+      // The telemetry sink joins the extra-sink merge order AFTER the
+      // stream's sink, before the shard sinks — the same slot it has in
+      // batch mode, so metrics stay batch/stream byte-comparable.
+      const obs::MetricsSink telemetry = journal::telemetry_sink(*journal);
+      const obs::MetricsSink* extras[] = {market.scheduler().sink(), market.sink(), &telemetry};
+      engine::MarketEngine& eng = market.market_engine();
+      if (metrics_out != nullptr && !write_out(metrics_out, eng.metrics_json(extras))) return 1;
+      if (prom_out != nullptr && !write_out(prom_out, eng.metrics_prometheus(extras))) return 1;
+      if (!write_binary(journal_out, journal->encode())) return 1;
+    } else {
+      if (metrics_out != nullptr && !write_out(metrics_out, market.metrics_json())) return 1;
+      if (prom_out != nullptr && !write_out(prom_out, market.metrics_prometheus())) return 1;
+    }
     if (trace_out != nullptr && !write_out(trace_out, market.trace_json())) return 1;
 
     const std::string summary = outcome.drive.report.summary_json();
@@ -236,8 +292,22 @@ int main(int argc, char** argv) {
   engine::EpochScheduler scheduler(market_engine, threads);
   const engine::DriveOutcome outcome = drive_trace(market_engine, scheduler, driver);
 
-  if (metrics_out != nullptr && !write_out(metrics_out, scheduler.metrics_json())) return 1;
-  if (prom_out != nullptr && !write_out(prom_out, scheduler.metrics_prometheus())) return 1;
+  const journal::Journal* journal = market_engine.journal();
+  if (journal != nullptr) {
+    const obs::MetricsSink telemetry = journal::telemetry_sink(*journal);
+    const obs::MetricsSink* extras[] = {scheduler.sink(), &telemetry};
+    if (metrics_out != nullptr && !write_out(metrics_out, market_engine.metrics_json(extras))) {
+      return 1;
+    }
+    if (prom_out != nullptr &&
+        !write_out(prom_out, market_engine.metrics_prometheus(extras))) {
+      return 1;
+    }
+    if (!write_binary(journal_out, journal->encode())) return 1;
+  } else {
+    if (metrics_out != nullptr && !write_out(metrics_out, scheduler.metrics_json())) return 1;
+    if (prom_out != nullptr && !write_out(prom_out, scheduler.metrics_prometheus())) return 1;
+  }
   if (trace_out != nullptr && !write_out(trace_out, scheduler.trace_json())) return 1;
 
   const std::string summary = outcome.report.summary_json();

@@ -1,5 +1,6 @@
 #include "engine/engine.hpp"
 
+#include <type_traits>
 #include <utility>
 
 #include "common/audit.hpp"
@@ -13,6 +14,10 @@ MarketEngine::MarketEngine(EngineConfig config)
     injector_ =
         std::make_unique<const fault::FaultInjector>(config_.fault_plan, config_.fault_seed);
   }
+  if (config_.journal_capacity > 0) {
+    journal_ = std::make_unique<journal::Journal>(router_.num_shards() + 1,
+                                                  config_.journal_capacity);
+  }
   shards_.reserve(router_.num_shards());
   for (std::size_t s = 0; s < router_.num_shards(); ++s) {
     auto shard = std::make_unique<Shard>(config_);
@@ -22,6 +27,7 @@ MarketEngine::MarketEngine(EngineConfig config)
       shard->market.set_sink(shard->sink.get());
     }
     if (injector_ != nullptr) shard->market.set_fault_injector(injector_.get(), s);
+    if (journal_ != nullptr) shard->market.set_journal(journal_.get(), s + 1);
     shards_.push_back(std::move(shard));
   }
 }
@@ -47,10 +53,18 @@ void MarketEngine::defer(Shard& shard, std::size_t shard_index, IngestItem item,
 
 template <typename Bid>
 EngineAdmission MarketEngine::submit_bid(const Bid& bid) {
+  constexpr std::uint64_t kIsOffer = std::is_same_v<Bid, auction::Offer> ? 1 : 0;
   auction::validate(bid);
   const Route route = router_.route(bid);
   if (!route.routed()) {
-    rejected_unroutable_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t prior = rejected_unroutable_.fetch_add(1, std::memory_order_relaxed);
+    if (journal_ != nullptr) {
+      // Unroutable bids have no shard ring; the control ring records them
+      // with the running unroutable count as the operand.
+      journal_->append(journal::Journal::kControlRing,
+                       {journal::EventKind::kIngestRejected, 0, 0, kIsOffer, prior,
+                        static_cast<std::uint64_t>(journal::RejectCause::kUnroutable)});
+    }
     return {Admission::kRejected, EngineAdmission::Reason::kUnroutable, 0};
   }
   Shard& shard = *shards_[route.shard];
@@ -61,6 +75,12 @@ EngineAdmission MarketEngine::submit_bid(const Bid& bid) {
   const bool fault_rejected =
       injector_ != nullptr &&
       injector_->fires(fault::FaultKind::kRejectIngest, {0, route.shard, seq, 0});
+  const std::uint64_t epoch = shard.epochs_started.load(std::memory_order_relaxed);
+  if (journal_ != nullptr && fault_rejected) {
+    journal_->append(route.shard + 1,
+                     {journal::EventKind::kFaultFired, 0, epoch,
+                      static_cast<std::uint64_t>(fault::FaultKind::kRejectIngest), seq, 0});
+  }
   BoundedQueue<IngestItem>::Result result{};
   if (fault_rejected) {
     result = {Admission::kRejected, RejectReason::kCapacity};
@@ -70,13 +90,27 @@ EngineAdmission MarketEngine::submit_bid(const Bid& bid) {
   if (!result.admitted()) {
     if (config_.retry.max_attempts > 0) {
       defer(shard, route.shard, IngestItem{bid}, 1);
+      if (journal_ != nullptr) {
+        journal_->append(route.shard + 1, {journal::EventKind::kIngestDeferred, 0, epoch,
+                                           kIsOffer, seq, 1});
+      }
       return {Admission::kQueued, EngineAdmission::Reason::kDeferred, route.shard};
     }
     shard.rejected_backpressure.fetch_add(1, std::memory_order_relaxed);
+    if (journal_ != nullptr) {
+      journal_->append(route.shard + 1,
+                       {journal::EventKind::kIngestRejected, 0, epoch, kIsOffer, seq,
+                        static_cast<std::uint64_t>(journal::RejectCause::kBackpressure)});
+    }
     return {Admission::kRejected, EngineAdmission::Reason::kBackpressure, route.shard};
   }
   if (route.kind == RouteKind::kSpilled) {
     shard.spilled.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (journal_ != nullptr) {
+    journal_->append(route.shard + 1,
+                     {journal::EventKind::kIngestAdmitted, 0, epoch, kIsOffer, seq,
+                      result.status == Admission::kQueued ? 1ULL : 0ULL});
   }
   return {result.status, EngineAdmission::Reason::kNone, route.shard};
 }
@@ -120,9 +154,16 @@ void MarketEngine::run_shard_epoch(std::size_t shard_index, Time now) {
     }
     for (Deferred& d : due) {
       const std::uint64_t seq = shard.retry_seq++;
+      const std::uint64_t is_offer = d.item.bid.index() == 0 ? 0 : 1;
       if (injector_ != nullptr &&
           injector_->fires(fault::FaultKind::kRejectIngest,
                            {epoch, shard_index, seq, d.attempt})) {
+        if (journal_ != nullptr) {
+          journal_->append(shard_index + 1,
+                           {journal::EventKind::kFaultFired, 0, epoch,
+                            static_cast<std::uint64_t>(fault::FaultKind::kRejectIngest), seq,
+                            d.attempt});
+        }
         if (d.attempt < config_.retry.max_attempts) {
           const std::uint64_t next_due = epoch + retry_backoff(d.attempt + 1);
           {
@@ -130,10 +171,18 @@ void MarketEngine::run_shard_epoch(std::size_t shard_index, Time now) {
             shard.deferred.push_back({std::move(d.item), d.attempt + 1, next_due});
           }
           shard.retries_scheduled.fetch_add(1, std::memory_order_relaxed);
+          if (journal_ != nullptr) {
+            journal_->append(shard_index + 1, {journal::EventKind::kIngestDeferred, 0, epoch,
+                                               is_offer, seq, d.attempt + 1});
+          }
         } else {
           ++shard.retries_dropped;
           if (shard.sink != nullptr) {
             shard.sink->metrics().counter("engine.bids_retry_dropped").add(1);
+          }
+          if (journal_ != nullptr) {
+            journal_->append(shard_index + 1, {journal::EventKind::kRetryDropped, 0, epoch,
+                                               is_offer, seq, d.attempt});
           }
         }
         continue;
@@ -142,6 +191,10 @@ void MarketEngine::run_shard_epoch(std::size_t shard_index, Time now) {
       ++shard.retries_succeeded;
       if (shard.sink != nullptr) {
         shard.sink->metrics().counter("engine.bids_retry_succeeded").add(1);
+      }
+      if (journal_ != nullptr) {
+        journal_->append(shard_index + 1, {journal::EventKind::kRetryAdmitted, 0, epoch,
+                                           is_offer, seq, d.attempt});
       }
     }
     span.add_work(due.size());

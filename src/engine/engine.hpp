@@ -32,6 +32,7 @@
 #include "engine/report.hpp"
 #include "engine/shard_router.hpp"
 #include "fault/injector.hpp"
+#include "journal/journal.hpp"
 #include "ledger/market.hpp"
 #include "obs/sink.hpp"
 
@@ -78,6 +79,12 @@ struct EngineConfig {
   /// independent slices via the FaultSite::shard coordinate.
   fault::FaultPlan fault_plan;
   std::uint64_t fault_seed = 1;
+  /// Per-ring capacity of the market flight recorder (journal/journal.hpp).
+  /// 0 (default) = no journal: every hook is one pointer test, mirroring
+  /// the null-sink contract.  Non-zero: the engine owns a Journal with
+  /// num_shards + 1 rings (control + one per shard) recording ingest
+  /// verdicts, epoch closes, trades, blocks, faults, and residue.
+  std::size_t journal_capacity = 0;
 };
 
 /// Producer-visible outcome of one submit().
@@ -160,6 +167,12 @@ class MarketEngine {
   [[nodiscard]] std::string trace_json(
       std::span<const obs::MetricsSink* const> extra_sinks) const;
 
+  /// The flight recorder (null unless config.journal_capacity > 0).
+  /// Ring 0 is the control ring; ring s + 1 records shard s.  Encode or
+  /// export it only between epochs, like the sinks.
+  [[nodiscard]] journal::Journal* journal() { return journal_.get(); }
+  [[nodiscard]] const journal::Journal* journal() const { return journal_.get(); }
+
  private:
   struct IngestItem {
     std::variant<auction::Request, auction::Offer> bid;
@@ -224,6 +237,8 @@ class MarketEngine {
   /// Owned fault injector (null when config.fault_plan is empty).  Const
   /// and stateless, so sharing it across shards and threads is free.
   std::unique_ptr<const fault::FaultInjector> injector_;
+  /// Owned flight recorder (null when config.journal_capacity == 0).
+  std::unique_ptr<journal::Journal> journal_;
   // unique_ptr: Shard is neither movable nor copyable (queue mutex,
   // orchestrator), and the vector is sized once in the constructor.
   std::vector<std::unique_ptr<Shard>> shards_;

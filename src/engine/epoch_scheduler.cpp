@@ -13,7 +13,7 @@ EpochScheduler::EpochScheduler(MarketEngine& engine, std::size_t threads) : engi
   }
 }
 
-void EpochScheduler::tick(Time now) {
+void EpochScheduler::tick(Time now, journal::CloseReason reason, std::uint64_t submissions) {
   // One chunk per shard: the chunk layout (hence which bodies run) is
   // fixed, and each body touches only its own shard's state.  The "epoch"
   // span lives on the scheduler's own sink, so the workers (which write
@@ -24,6 +24,13 @@ void EpochScheduler::tick(Time now) {
               [&](std::size_t shard) { engine_.run_shard_epoch(shard, now); });
   ++epochs_;
   if (sink_ != nullptr) sink_->metrics().counter("engine.epochs").add(1);
+  if (journal::Journal* journal = engine_.journal(); journal != nullptr) {
+    // Control-ring close event, written by the tick thread AFTER the shard
+    // fan-out joined — never concurrent with the shard rings.
+    journal->append(journal::Journal::kControlRing,
+                    {journal::EventKind::kEpochClose, 0, epochs_,
+                     static_cast<std::uint64_t>(reason), submissions, 0});
+  }
 }
 
 std::size_t EpochScheduler::run(std::size_t max_epochs, Time start_time,

@@ -28,8 +28,16 @@ class EpochScheduler {
   /// thread, 1 = fully serial (no pool spun up).
   EpochScheduler(MarketEngine& engine, std::size_t threads);
 
-  /// Runs one epoch at simulated time `now` across all shards.
-  void tick(Time now);
+  /// Runs one epoch at simulated time `now` across all shards.  Bare
+  /// ticks (the drain loop, tests) journal as kDrain closes with zero
+  /// attributed submissions.
+  void tick(Time now) { tick(now, journal::CloseReason::kDrain, 0); }
+
+  /// Same, attributing the close: `reason` is why this epoch closed and
+  /// `submissions` how many bids arrived since the previous close.  The
+  /// batch driver and the streaming triggers both call this so aligned
+  /// batch/stream runs journal identical kEpochClose events.
+  void tick(Time now, journal::CloseReason reason, std::uint64_t submissions);
 
   /// Ticks until the engine is idle (no queued bids anywhere) or
   /// `max_epochs` elapsed; returns the number of epochs run.

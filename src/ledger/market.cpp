@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/ensure.hpp"
+#include "journal/journal.hpp"
 #include "obs/sink.hpp"
 
 namespace decloud::ledger {
@@ -12,6 +13,12 @@ MarketOrchestrator::MarketOrchestrator(MarketConfig config)
       protocol_(config_.consensus, config_.reputation),
       wallet_(rng_) {
   if (config_.reuse_candidate_index) protocol_.set_index_cache(&index_cache_);
+}
+
+void MarketOrchestrator::set_journal(journal::Journal* journal, std::size_t ring) {
+  journal_ = journal;
+  journal_ring_ = ring;
+  protocol_.set_journal(journal, ring);
 }
 
 void MarketOrchestrator::submit(const auction::Request& request) {
@@ -52,9 +59,21 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
         sealed.ciphertext.front() ^= 0xFF;
       }
       if (sink_ != nullptr) sink_->metrics().counter("fault.bids_corrupted").add(1);
+      if (journal_ != nullptr) {
+        journal_->append(journal_ring_,
+                         {journal::EventKind::kFaultFired, 0, fault_round,
+                          static_cast<std::uint64_t>(fault::FaultKind::kCorruptSealedBid),
+                          site.index, 0});
+      }
     }
     const bool duplicate =
         fault_ != nullptr && fault_->fires(fault::FaultKind::kDuplicateSealedBid, site);
+    if (duplicate && journal_ != nullptr) {
+      journal_->append(journal_ring_,
+                       {journal::EventKind::kFaultFired, 0, fault_round,
+                        static_cast<std::uint64_t>(fault::FaultKind::kDuplicateSealedBid),
+                        site.index, 0});
+    }
     if (protocol_.mempool().submit(sealed) == Mempool::Admission::kDuplicate) {
       ++stats_.bids_duplicate_rejected;
     }
@@ -86,11 +105,33 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
       sink_->metrics().counter("market.resubmissions")
           .add(in_flight_requests.size() + in_flight_offers.size());
     }
+    if (journal_ != nullptr &&
+        in_flight_requests.size() + in_flight_offers.size() > 0) {
+      journal_->append(journal_ring_,
+                       {journal::EventKind::kResidueCarried, 0, fault_round,
+                        in_flight_requests.size() + in_flight_offers.size(),
+                        static_cast<std::uint64_t>(journal::CarryCause::kBlockRejected), 0});
+    }
     return outcome;
   }
 
   stats_.total_welfare += outcome.result.welfare;
   stats_.total_settled += outcome.result.total_payments;
+
+  if (journal_ != nullptr) {
+    // One kTradeStruck per accepted match, in allocation order: the
+    // payment is the Eq. 19 charge, unit_price the Eq. 20 mini-auction
+    // clearing price the telemetry histograms for dispersion.
+    for (const auction::Match& m : outcome.result.matches) {
+      journal_->append(journal_ring_, {journal::EventKind::kTradeStruck, 0, fault_round,
+                                       m.request, m.offer, 0, m.payment, m.unit_price});
+    }
+    if (outcome.result.reduced_trades > 0) {
+      journal_->append(journal_ring_,
+                       {journal::EventKind::kTradeReduced, 0, fault_round,
+                        outcome.result.reduced_trades, outcome.result.tentative_trades, 0});
+    }
+  }
 
   // Remember the accepted matches so deny_agreement can revert them; only
   // the latest round's agreements are deniable through the orchestrator.
@@ -127,6 +168,8 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
 
   std::size_t resubmitted = 0;
   std::size_t allocated_this_round = 0;
+  std::size_t requests_abandoned_this_round = 0;
+  std::size_t offers_abandoned_this_round = 0;
   for (auto& pr : in_flight_requests) {
     const auto id = pr.request.id.value();
     if (matched_ids.contains(id)) {
@@ -143,6 +186,7 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
       ++stats_.bids_carried;
     } else {
       ++stats_.requests_abandoned;
+      ++requests_abandoned_this_round;
     }
   }
   // Offers re-enter while their windows stay useful; the retry budget
@@ -154,6 +198,7 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
       ++stats_.bids_carried;
     } else {
       ++stats_.offers_abandoned;
+      ++offers_abandoned_this_round;
     }
   }
   if (sink_ != nullptr) {
@@ -161,6 +206,18 @@ RoundOutcome MarketOrchestrator::run_round(Time now) {
     m.counter("market.resubmissions").add(resubmitted);
     m.counter("market.requests_allocated").add(allocated_this_round);
     m.histogram("market.round_welfare", 0.0, 64.0, 16).add(outcome.result.welfare);
+  }
+  if (journal_ != nullptr) {
+    if (resubmitted > 0) {
+      journal_->append(journal_ring_,
+                       {journal::EventKind::kResidueCarried, 0, fault_round, resubmitted,
+                        static_cast<std::uint64_t>(journal::CarryCause::kUnmatched), 0});
+    }
+    if (requests_abandoned_this_round + offers_abandoned_this_round > 0) {
+      journal_->append(journal_ring_, {journal::EventKind::kResidueAbandoned, 0, fault_round,
+                                       requests_abandoned_this_round,
+                                       offers_abandoned_this_round, 0});
+    }
   }
 
   // Client-side misbehaviour: a kDenyAgreement fault makes the client of
@@ -183,6 +240,17 @@ bool MarketOrchestrator::deny_agreement(ContractId id) {
   if (it == last_round_matches_.end()) return false;  // not from the latest round
   const MatchRecord& record = it->second;
   if (!protocol_.contract().deny(id, record.client)) return false;
+
+  if (journal_ != nullptr) {
+    const std::uint64_t height = protocol_.chain().height();
+    // The denied agreement came from the latest appended block.
+    journal_->append(journal_ring_, {journal::EventKind::kTradeDenied, 0, height - 1,
+                                     id.value(), record.request_id, 0});
+    journal_->append(journal_ring_,
+                     {journal::EventKind::kReputationPenalty, 0, height - 1,
+                      record.client.value(),
+                      static_cast<std::uint64_t>(journal::PenaltyKind::kDeny), 0});
+  }
 
   // Revert the request's allocation accounting: the match never executed.
   DECLOUD_EXPECTS(stats_.requests_allocated > 0);
@@ -207,6 +275,11 @@ bool MarketOrchestrator::deny_agreement(ContractId id) {
   if (!still_pending) {
     pending_offers_.push_back({record.offer, record.offer_attempts});
     ++stats_.bids_carried;  // the refund re-enters it into the residue
+    if (journal_ != nullptr) {
+      journal_->append(journal_ring_,
+                       {journal::EventKind::kResidueCarried, 0, protocol_.chain().height() - 1,
+                        1, static_cast<std::uint64_t>(journal::CarryCause::kDenialRefund), 0});
+    }
   }
 
   last_round_matches_.erase(it);

@@ -20,6 +20,10 @@
 #include "auction/candidate_index.hpp"
 #include "ledger/protocol.hpp"
 
+namespace decloud::journal {
+class Journal;
+}
+
 namespace decloud::ledger {
 
 /// Orchestration parameters.
@@ -131,6 +135,12 @@ class MarketOrchestrator {
   }
   [[nodiscard]] obs::MetricsSink* sink() const { return sink_; }
 
+  /// Attaches the flight recorder (not owned, may be null); forwarded to
+  /// the protocol.  `ring` is this market's journal ring — an engine
+  /// passes shard + 1 (ring 0 is the engine's control ring).  Events are
+  /// stamped with the chain height, the market's own logical epoch.
+  void set_journal(journal::Journal* journal, std::size_t ring);
+
   [[nodiscard]] const MarketStats& stats() const { return stats_; }
   [[nodiscard]] const LedgerProtocol& protocol() const { return protocol_; }
   [[nodiscard]] std::size_t queued_bids() const {
@@ -171,6 +181,8 @@ class MarketOrchestrator {
   obs::MetricsSink* sink_ = nullptr;
   const fault::FaultInjector* fault_ = nullptr;
   std::uint64_t shard_ = 0;
+  journal::Journal* journal_ = nullptr;
+  std::size_t journal_ring_ = 0;
 };
 
 }  // namespace decloud::ledger

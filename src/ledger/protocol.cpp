@@ -6,6 +6,7 @@
 
 #include "common/audit.hpp"
 #include "common/ensure.hpp"
+#include "journal/journal.hpp"
 #include "ledger/codec.hpp"
 #include "obs/sink.hpp"
 
@@ -167,6 +168,12 @@ RoundOutcome LedgerProtocol::run_round(std::span<Participant* const> participant
               fault_->fires(fault::FaultKind::kWithholdReveal,
                             {round, shard_, i, attempt})) {
             ++outcome.fault.reveals_withheld;
+            if (journal_ != nullptr) {
+              journal_->append(journal_ring_,
+                               {journal::EventKind::kFaultFired, 0, round,
+                                static_cast<std::uint64_t>(fault::FaultKind::kWithholdReveal),
+                                i, attempt});
+            }
             continue;
           }
           for (auto& kr : participants[i]->on_preamble(*preamble)) {
@@ -196,6 +203,12 @@ RoundOutcome LedgerProtocol::run_round(std::span<Participant* const> participant
       }
       outcome.fault.allocation_corrupted = true;
       if (sink_ != nullptr) sink_->metrics().counter("fault.allocations_corrupted").add(1);
+      if (journal_ != nullptr) {
+        journal_->append(journal_ring_,
+                         {journal::EventKind::kFaultFired, 0, round,
+                          static_cast<std::uint64_t>(fault::FaultKind::kCorruptAllocation), 0,
+                          attempt});
+      }
     }
 
     // Collective verification: every verifier re-runs the auction; the
@@ -211,6 +224,12 @@ RoundOutcome LedgerProtocol::run_round(std::span<Participant* const> participant
           ok = !ok;
           ++outcome.fault.dishonest_votes;
           if (sink_ != nullptr) sink_->metrics().counter("fault.dishonest_votes").add(1);
+          if (journal_ != nullptr) {
+            journal_->append(journal_ring_,
+                             {journal::EventKind::kFaultFired, 0, round,
+                              static_cast<std::uint64_t>(fault::FaultKind::kDishonestVote), v,
+                              attempt});
+          }
         }
         outcome.verifier_votes.push_back(ok);
         if (ok) ++accepts;
@@ -230,6 +249,12 @@ RoundOutcome LedgerProtocol::run_round(std::span<Participant* const> participant
         contract_.penalize_withhold(address);
         outcome.fault.penalized.push_back(address);
         if (sink_ != nullptr) sink_->metrics().counter("fault.withhold_penalties").add(1);
+        if (journal_ != nullptr) {
+          journal_->append(journal_ring_,
+                           {journal::EventKind::kReputationPenalty, 0, round, address.value(),
+                            static_cast<std::uint64_t>(journal::PenaltyKind::kWithhold),
+                            attempt});
+        }
       }
     }
     outcome.fault.bids_unopened = opened.unopened.size();
@@ -282,6 +307,17 @@ RoundOutcome LedgerProtocol::run_round(std::span<Participant* const> participant
             .add(1);
         sink_->metrics().counter("ledger.agreements").add(outcome.agreements.size());
       }
+      if (journal_ != nullptr) {
+        if (outcome.block_accepted) {
+          journal_->append(journal_ring_,
+                           {journal::EventKind::kBlockMined, 0, round, chain_.height() - 1,
+                            outcome.result.matches.size(), outcome.agreements.size(),
+                            outcome.result.welfare});
+        } else {
+          journal_->append(journal_ring_, {journal::EventKind::kBlockRejected, 0, round,
+                                           attempt, accepts, required});
+        }
+      }
       return outcome;
     }
 
@@ -290,10 +326,21 @@ RoundOutcome LedgerProtocol::run_round(std::span<Participant* const> participant
     ++producer_penalties_;
     outcome.fault.producer_penalized = true;
     if (sink_ != nullptr) sink_->metrics().counter("ledger.blocks_rejected").add(1);
+    if (journal_ != nullptr) {
+      journal_->append(journal_ring_, {journal::EventKind::kBlockRejected, 0, round, attempt,
+                                       accepts, required});
+      journal_->append(journal_ring_,
+                       {journal::EventKind::kReputationPenalty, 0, round, 0,
+                        static_cast<std::uint64_t>(journal::PenaltyKind::kProducer), attempt});
+    }
 
     if (attempt + 1 < attempts_allowed) {
       ++outcome.fault.remine_attempts;
       if (sink_ != nullptr) sink_->metrics().counter("fault.blocks_remined").add(1);
+      if (journal_ != nullptr) {
+        journal_->append(journal_ring_, {journal::EventKind::kBlockRemined, 0, round,
+                                         attempt + 1, opened.unopened.size(), 0});
+      }
       // Bounded recovery: re-mine with the faulty inputs excluded.  The
       // unopened bids are the inputs the producer could not honor; their
       // keys may never come, so they sit the retry out (and resubmit via

@@ -33,6 +33,10 @@
 #include "ledger/miner.hpp"
 #include "ledger/participant.hpp"
 
+namespace decloud::journal {
+class Journal;
+}
+
 namespace decloud::ledger {
 
 /// Fault and recovery bookkeeping of one round (all zero on the happy
@@ -170,6 +174,15 @@ class LedgerProtocol {
   void set_sink(obs::MetricsSink* sink) { sink_ = sink; }
   [[nodiscard]] obs::MetricsSink* sink() const { return sink_; }
 
+  /// Attaches the flight recorder (not owned, may be null).  Rounds then
+  /// journal block mined/rejected/re-mined, fault firings, and reputation
+  /// penalties into `ring`, stamped with the chain height; the outcome is
+  /// unaffected.
+  void set_journal(journal::Journal* journal, std::size_t ring) {
+    journal_ = journal;
+    journal_ring_ = ring;
+  }
+
  private:
   ConsensusParams params_;
   Miner producer_;
@@ -180,6 +193,8 @@ class LedgerProtocol {
   const fault::FaultInjector* fault_ = nullptr;
   std::uint64_t shard_ = 0;
   std::size_t producer_penalties_ = 0;
+  journal::Journal* journal_ = nullptr;
+  std::size_t journal_ring_ = 0;
 };
 
 }  // namespace decloud::ledger

@@ -24,7 +24,7 @@ void StreamingMarket::close_micro_epoch(CloseReason reason) {
   {
     obs::SpanScope span(sink_.get(), "micro_epoch");
     span.add_work(submitted_ - closed_submitted_);
-    scheduler_.tick(now);
+    scheduler_.tick(now, reason, submitted_ - closed_submitted_);
   }
   closed_submitted_ = submitted_;
   closed_clock_ = clock_;

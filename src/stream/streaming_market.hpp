@@ -137,8 +137,16 @@ class StreamingMarket {
   [[nodiscard]] std::string metrics_prometheus() const;
   [[nodiscard]] std::string trace_json() const;
 
+  /// The stream-level sink (null without observability) — exposed so a
+  /// driver can compose its own extra-sink merge order (e.g. appending
+  /// the journal telemetry sink after the stream's).
+  [[nodiscard]] const obs::MetricsSink* sink() const { return sink_.get(); }
+
  private:
-  enum class CloseReason : std::uint8_t { kBidCount, kWatermark, kFlush, kDrain };
+  /// Close attribution is the journal's own taxonomy so the kEpochClose
+  /// events a stream run journals are byte-comparable with an aligned
+  /// batch run's (the batch driver attributes its ticks the same way).
+  using CloseReason = journal::CloseReason;
 
   template <typename Bid>
   StreamAdmission submit_bid(const Bid& bid);

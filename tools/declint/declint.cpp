@@ -65,7 +65,7 @@ constexpr Rule kRules[] = {
      "seed a decloud::Rng from the block evidence (common/rng.hpp) instead"},
     {"unordered-iter",
      "iterating an unordered container in a deterministic module (src/auction, src/engine, "
-     "src/ledger, src/stream): hash order is not stable across platforms or runs",
+     "src/ledger, src/stream, src/journal): hash order is not stable across platforms or runs",
      "iterate a sorted key vector, or switch the container to std::map/std::vector"},
     {"float-reduce",
      "std::reduce / std::transform_reduce over money or welfare in economics code: "
@@ -138,6 +138,9 @@ constexpr EntryPoint kEntryPoints[] = {
     {"src/stream/streaming_market.cpp", "StreamingMarket::submit"},
     {"src/stream/streaming_market.cpp", "StreamingMarket::close_micro_epoch"},
     {"src/stream/stream_driver.cpp", "drive_trace_stream"},
+    {"src/journal/journal.cpp", "Journal::append"},
+    {"src/journal/journal.cpp", "Journal::export_jsonl"},
+    {"tools/journal_query/journal_query.cpp", "main"},
 };
 
 // ---------------------------------------------------------------------------
@@ -341,7 +344,7 @@ bool path_contains(const std::string& path, std::string_view needle) {
 bool in_deterministic_module(const std::string& path) {
   return path_contains(path, "src/auction/") || path_contains(path, "src/engine/") ||
          path_contains(path, "src/ledger/") || path_contains(path, "src/fault/") ||
-         path_contains(path, "src/stream/");
+         path_contains(path, "src/stream/") || path_contains(path, "src/journal/");
 }
 
 bool in_economics_code(const std::string& path) {

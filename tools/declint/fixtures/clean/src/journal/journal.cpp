@@ -1,0 +1,45 @@
+// PASS fixture for declint over src/journal/ (NOT compiled): the shape a
+// compliant flight-recorder file takes — checked append and export
+// boundaries, logical-clock stamps only, rings walked in fixed index
+// order.  The declint.journal_clean ctest scans exactly this tree and
+// must stay clean; paired with declint.journal_fixture (WILL_FAIL) it
+// pins both directions of every rule the journal module is subject to.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace decloud::journal {
+
+void validate_ring(std::size_t ring, std::size_t num_rings);
+
+struct Event {
+  std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
+};
+
+struct Journal {
+  void append(std::size_t ring, Event event);
+  std::string export_jsonl() const;
+  std::vector<std::vector<Event>> rings_;
+  std::uint64_t next_seq_ = 0;
+};
+
+void Journal::append(std::size_t ring, Event event) {
+  validate_ring(ring, rings_.size());  // entry check: ring must exist
+  event.seq = next_seq_++;             // logical clock, never wall time
+  rings_[ring].push_back(event);
+}
+
+std::string Journal::export_jsonl() const {
+  validate_ring(0, rings_.size());  // entry check: at least one ring
+  std::string out;
+  for (std::size_t ring = 0; ring < rings_.size(); ++ring) {  // fixed order
+    for (const Event& event : rings_[ring]) {
+      out += std::to_string(ring) + ":" + std::to_string(event.seq) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace decloud::journal

@@ -1,0 +1,49 @@
+// Seeded violation fixture for declint over src/journal/ (NOT compiled):
+// the flight recorder is a deterministic module — journal bytes must be
+// identical across thread counts — so a wall-clock event stamp, a
+// hash-order ring walk in the export, and unchecked Journal::append /
+// Journal::export_jsonl entry points must all be findings here
+// (declint.journal_fixture, WILL_FAIL).
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace decloud::journal {
+
+struct Event {
+  std::uint64_t seq = 0;
+  std::uint64_t stamp = 0;
+};
+
+struct Journal {
+  void append(std::size_t ring, Event event);
+  std::string export_jsonl() const;
+  std::unordered_map<std::size_t, Event> latest_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// entry-ensure: the append boundary with no EXPECTS/validate check.
+void Journal::append(std::size_t ring, Event event) {
+  // wallclock-outside-obs: stamping events with wall time makes two runs
+  // over the same submission sequence journal differently — stamps must
+  // be logical clocks (seq + the emitting layer's epoch counter).
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  event.stamp = static_cast<std::uint64_t>(now.count());
+  event.seq = next_seq_++;
+  latest_[ring] = event;
+}
+
+// entry-ensure: the export boundary with no EXPECTS/validate check.
+std::string Journal::export_jsonl() const {
+  std::string out;
+  // unordered-iter: hash-order ring walk — the export must visit rings in
+  // fixed index order or the bytes differ across platforms.
+  for (const auto& [ring, event] : latest_) {
+    out += std::to_string(ring) + ":" + std::to_string(event.seq) + "\n";
+  }
+  return out;
+}
+
+}  // namespace decloud::journal
