@@ -1,6 +1,6 @@
 // Machine-readable throughput benchmark for the sharded engine.
 //
-// Emits one JSON document (schema decloud-engine-bench-v4) timing a full
+// Emits one JSON document (schema decloud-engine-bench-v5) timing a full
 // trace-driven engine run — submission, epoch scheduling, resubmission
 // tail — at each (shard count, thread count) pair, reporting bids/sec so
 // bench/trajectory/ can track cross-shard scaling the same way
@@ -8,7 +8,7 @@
 //
 // Usage: engine_throughput [--rounds N] [--shards a,b,c] [--threads a,b,c]
 //                          [--requests N] [--mode batch|stream|both]
-//                          [--journal on|off]
+//                          [--journal on|off] [--wal on|off]
 //   --rounds    timing repetitions per entry; the MINIMUM time (max
 //               bids/sec) is reported (default 3)
 //   --shards    comma-separated shard counts (default "1,4,16")
@@ -24,10 +24,17 @@
 //               (journal_capacity 65536), "off" leaves the hooks at their
 //               one-pointer-test cost (default "off"); the header records
 //               which, so trajectory points stay comparable
+//   --wal       "on" drives every run through the durable path — a
+//               write-ahead log with fsync on every append, candidate-
+//               index cache off (the durable-mode contract) — "off" runs
+//               in-memory only (default "off"); the header records which.
+//               WAL files land in a scratch directory under the system
+//               temp path
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -37,6 +44,7 @@
 #include "obs/clock.hpp"
 #include "stream/stream_driver.hpp"
 #include "stream/streaming_market.hpp"
+#include "wal/durable/durable.hpp"
 
 namespace {
 
@@ -56,7 +64,7 @@ std::vector<std::size_t> parse_counts(const char* arg) {
   return out;
 }
 
-engine::EngineConfig engine_config(std::size_t shards, std::size_t journal_capacity) {
+engine::EngineConfig engine_config(std::size_t shards, std::size_t journal_capacity, bool wal) {
   engine::EngineConfig config;
   config.router.num_shards = shards;
   config.router.x0 = 0.0;
@@ -69,6 +77,7 @@ engine::EngineConfig engine_config(std::size_t shards, std::size_t journal_capac
   config.market.num_verifiers = 1;
   config.market.consensus.auction.threads = 1;  // parallelism across shards
   config.journal_capacity = journal_capacity;
+  if (wal) config.market.reuse_candidate_index = false;  // durable-mode contract
   return config;
 }
 
@@ -90,6 +99,7 @@ int main(int argc, char** argv) {
   std::size_t num_requests = 2048;
   std::string mode = "batch";
   bool journal = false;
+  bool wal = false;
   std::vector<std::size_t> shard_counts = {1, 4, 16};
   std::vector<std::size_t> thread_counts = {1, ThreadPool::default_workers()};
   for (int i = 1; i < argc; ++i) {
@@ -109,10 +119,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
       journal = std::strcmp(argv[++i], "on") == 0;
+    } else if (std::strcmp(argv[i], "--wal") == 0 && i + 1 < argc) {
+      wal = std::strcmp(argv[++i], "on") == 0;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--rounds N] [--shards a,b,c] [--threads a,b,c] [--requests N] "
-                   "[--mode batch|stream|both] [--journal on|off]\n",
+                   "[--mode batch|stream|both] [--journal on|off] [--wal on|off]\n",
                    argv[0]);
       return 2;
     }
@@ -129,6 +141,17 @@ int main(int argc, char** argv) {
   driver.seed = 2;
 
   const std::size_t journal_capacity = journal ? std::size_t{65536} : std::size_t{0};
+  const std::string wal_dir =
+      (std::filesystem::temp_directory_path() / "decloud_engine_throughput_wal").string();
+  const auto durable_opts = [&] {
+    std::filesystem::remove_all(wal_dir);
+    std::filesystem::create_directories(wal_dir);
+    wal::DurableOptions opts;
+    opts.wal_dir = wal_dir;
+    opts.sync = true;  // the durable default: fsync every append
+    opts.fingerprint = 0x9EFC;  // arbitrary: nothing recovers this WAL
+    return opts;
+  };
   std::vector<Entry> entries;
   obs::SteadyClock clock;  // the sanctioned wall-clock source (src/obs)
   for (const std::size_t shards : shard_counts) {
@@ -139,10 +162,15 @@ int main(int argc, char** argv) {
         std::size_t epochs = 0;
         std::size_t bids = 0;
         for (int round = 0; round < rounds; ++round) {
-          engine::MarketEngine market_engine(engine_config(shards, journal_capacity));
+          engine::MarketEngine market_engine(engine_config(shards, journal_capacity, wal));
           engine::EpochScheduler scheduler(market_engine, threads);
+          // Directory reset is setup, not WAL cost — keep it untimed.
+          wal::DurableOptions opts;
+          if (wal) opts = durable_opts();
           const std::uint64_t t0 = clock.now_ns();
-          const engine::DriveOutcome outcome = drive_trace(market_engine, scheduler, driver);
+          const engine::DriveOutcome outcome =
+              wal ? wal::drive_trace_durable(market_engine, scheduler, driver, opts)
+                  : drive_trace(market_engine, scheduler, driver);
           const std::uint64_t t1 = clock.now_ns();
           best_ms = std::min(best_ms, static_cast<double>(t1 - t0) / 1e6);
           allocated = outcome.report.total.requests_allocated;
@@ -159,15 +187,19 @@ int main(int argc, char** argv) {
         std::size_t bids = 0;
         for (int round = 0; round < rounds; ++round) {
           stream::StreamConfig stream_config;
-          stream_config.engine = engine_config(shards, journal_capacity);
+          stream_config.engine = engine_config(shards, journal_capacity, wal);
           stream_config.triggers.bids = driver.bids_per_epoch;  // batch-aligned
           stream_config.threads = threads;
           stream_config.start_time = driver.start_time;
           stream_config.epoch_interval = driver.epoch_interval;
           stream_config.drain_epochs = driver.drain_epochs;
           stream::StreamingMarket market(std::move(stream_config));
+          wal::DurableOptions opts;
+          if (wal) opts = durable_opts();
           const std::uint64_t t0 = clock.now_ns();
-          const stream::StreamDriveOutcome outcome = drive_trace_stream(market, driver);
+          const stream::StreamDriveOutcome outcome =
+              wal ? wal::drive_trace_stream_durable(market, driver, opts)
+                  : drive_trace_stream(market, driver);
           const std::uint64_t t1 = clock.now_ns();
           best_ms = std::min(best_ms, static_cast<double>(t1 - t0) / 1e6);
           allocated = outcome.drive.report.total.requests_allocated;
@@ -180,14 +212,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::filesystem::remove_all(wal_dir);
+
   std::printf("{\n");
-  std::printf("  \"schema\": \"decloud-engine-bench-v4\",\n");
+  std::printf("  \"schema\": \"decloud-engine-bench-v5\",\n");
   std::printf("  \"hardware_concurrency\": %zu,\n", ThreadPool::default_workers());
   // Instrumented (DECLOUD_DSCHED=ON) numbers are not comparable to
   // production numbers; the field lets perf dashboards partition them.
   std::printf("  \"dsched\": \"%s\",\n", dsched::kEnabled ? "on" : "off");
   // Whether every timed run recorded into a live flight recorder.
   std::printf("  \"journal\": \"%s\",\n", journal ? "on" : "off");
+  // Whether every timed run wrote a fsync'd WAL (durable path, cache off).
+  std::printf("  \"wal\": \"%s\",\n", wal ? "on" : "off");
   std::printf("  \"rounds\": %d,\n", rounds);
   std::printf("  \"requests\": %zu,\n", num_requests);
   std::printf("  \"results\": [\n");

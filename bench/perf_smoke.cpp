@@ -25,7 +25,16 @@
 //   * engine_null_journal / engine_live_journal — the same 1-shard drive
 //     with no flight recorder (journal hooks pay one pointer test) vs. a
 //     live journal recording every event (DESIGN.md §3j, same ≤2%
-//     budget).
+//     budget);
+//   * engine_no_wal / engine_wal_nosync / engine_wal_fsync — the same
+//     1-shard drive (candidate-index cache off, the durable-mode
+//     contract) with no WAL vs. a write-ahead log without fsync vs. with
+//     fsync on every append (DESIGN.md §3k).  The WAL is opt-in, not an
+//     ambient hook — with no writer attached the engine pays one pointer
+//     test, covered by the existing ≤2% budget — so neither WAL-on delta
+//     is budgeted: the nosync delta is the encode+write() logging cost,
+//     the fsync-minus-nosync delta is pure storage stall, and both are
+//     reported so bench/trajectory/ tracks the price of durability.
 //
 // Usage: perf_smoke [--rounds N] [--threads a,b,c] [--shards a,b,c]
 //                   [--requests N] [--offers N] [--matching-only]
@@ -46,10 +55,14 @@
 //   --journal  include the flight-recorder overhead pair (default "on";
 //              "off" skips it — the header records which, so trajectory
 //              points stay machine-readably comparable)
+//   --wal      include the WAL overhead trio (default "on"; "off" skips
+//              it — same header contract as --journal); WAL files land
+//              in a scratch directory under the system temp path
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -66,6 +79,7 @@
 #include "obs/clock.hpp"
 #include "obs/sink.hpp"
 #include "trace/workload.hpp"
+#include "wal/durable/durable.hpp"
 
 namespace {
 
@@ -108,15 +122,17 @@ struct Entry {
 };
 
 void emit(const std::vector<Entry>& entries, int rounds,
-          const std::vector<std::size_t>& thread_counts, bool journal) {
+          const std::vector<std::size_t>& thread_counts, bool journal, bool wal) {
   std::printf("{\n");
-  std::printf("  \"schema\": \"decloud-perf-smoke-v5\",\n");
+  std::printf("  \"schema\": \"decloud-perf-smoke-v6\",\n");
   std::printf("  \"hardware_concurrency\": %zu,\n", ThreadPool::default_workers());
   // Instrumented (DECLOUD_DSCHED=ON) numbers are not comparable to
   // production numbers; the field lets perf dashboards partition them.
   std::printf("  \"dsched\": \"%s\",\n", dsched::kEnabled ? "on" : "off");
   // Whether the flight-recorder overhead pair ran in this capture.
   std::printf("  \"journal\": \"%s\",\n", journal ? "on" : "off");
+  // Whether the WAL overhead trio ran in this capture.
+  std::printf("  \"wal\": \"%s\",\n", wal ? "on" : "off");
   // The sweep actually run, so a point captured on a small box is
   // machine-readably distinguishable from one that exercised real cores.
   std::printf("  \"thread_sweep\": [");
@@ -163,6 +179,7 @@ int main(int argc, char** argv) {
   std::size_t matching_offers = 0;  // 0 = requests / 2
   bool matching_only = false;
   bool journal = true;
+  bool wal = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
       rounds = std::max(1, std::atoi(argv[++i]));
@@ -178,11 +195,13 @@ int main(int argc, char** argv) {
       matching_only = true;
     } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
       journal = std::strcmp(argv[++i], "off") != 0;
+    } else if (std::strcmp(argv[i], "--wal") == 0 && i + 1 < argc) {
+      wal = std::strcmp(argv[++i], "off") != 0;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--rounds N] [--threads a,b,c] [--shards a,b,c]\n"
                    "          [--requests N] [--offers N] [--matching-only]\n"
-                   "          [--journal on|off]\n",
+                   "          [--journal on|off] [--wal on|off]\n",
                    argv[0]);
       return 2;
     }
@@ -245,7 +264,7 @@ int main(int argc, char** argv) {
   }
 
   if (matching_only) {
-    emit(entries, rounds, thread_counts, journal);
+    emit(entries, rounds, thread_counts, journal, wal);
     return 0;
   }
 
@@ -369,6 +388,69 @@ int main(int argc, char** argv) {
                        driver.workload.num_offers, 1, drive_ms(65536)});
   }
 
+  // --- durable-market overhead (DESIGN.md §3k): the same 1-shard drive
+  // with no WAL, with a WAL but no fsync (pure logging cost, the part the
+  // ≤2% in-memory budget covers), and with fsync on every append (the
+  // storage-bound price of power-loss durability — exempt from the budget
+  // but reported).  All three run with the candidate-index cache off:
+  // durable mode requires it, so the baseline must match to isolate the
+  // WAL delta.
+  if (wal) {
+    engine::TraceDriverConfig driver;
+    driver.workload.num_requests = 512;
+    driver.workload.num_offers = 256;
+    driver.located_fraction = 0.9;
+    driver.bids_per_epoch = 192;
+    driver.seed = 8;
+
+    const auto config = [] {
+      engine::EngineConfig c;
+      c.router.num_shards = 1;
+      c.router.x1 = 100.0;
+      c.router.y1 = 100.0;
+      c.queue_capacity = SIZE_MAX / 2;
+      c.queue_watermark = SIZE_MAX / 2;
+      c.market.consensus.difficulty_bits = 8;
+      c.market.num_verifiers = 1;
+      c.market.consensus.auction.threads = 1;
+      c.market.reuse_candidate_index = false;  // the durable-mode contract
+      return c;
+    };
+
+    const double no_wal_ms = time_min_ms(rounds, [&] {
+      engine::MarketEngine market_engine(config());
+      engine::EpochScheduler scheduler(market_engine, 1);
+      volatile auto sink = drive_trace(market_engine, scheduler, driver).bids_generated;
+      (void)sink;
+    });
+
+    const std::string wal_dir =
+        (std::filesystem::temp_directory_path() / "decloud_perf_smoke_wal").string();
+    const auto durable_ms = [&](bool sync) {
+      return time_min_ms(rounds, [&] {
+        std::filesystem::remove_all(wal_dir);
+        std::filesystem::create_directories(wal_dir);
+        engine::MarketEngine market_engine(config());
+        engine::EpochScheduler scheduler(market_engine, 1);
+        wal::DurableOptions opts;
+        opts.wal_dir = wal_dir;
+        opts.sync = sync;
+        opts.fingerprint = 0x9EFC;  // arbitrary: nothing recovers this WAL
+        volatile auto sink =
+            wal::drive_trace_durable(market_engine, scheduler, driver, opts).bids_generated;
+        (void)sink;
+      });
+    };
+
+    entries.push_back({"engine_no_wal", driver.workload.num_requests,
+                       driver.workload.num_offers, 1, no_wal_ms});
+    entries.push_back({"engine_wal_nosync", driver.workload.num_requests,
+                       driver.workload.num_offers, 1, durable_ms(false)});
+    entries.push_back({"engine_wal_fsync", driver.workload.num_requests,
+                       driver.workload.num_offers, 1, durable_ms(true)});
+    std::filesystem::remove_all(wal_dir);
+  }
+
   // --- sharded engine end to end (cross-shard axis).
   for (const std::size_t shards : shard_counts) {
     if (shards == 0) continue;  // 0 = skip the engine section
@@ -404,6 +486,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  emit(entries, rounds, thread_counts, journal);
+  emit(entries, rounds, thread_counts, journal, wal);
   return 0;
 }

@@ -1,0 +1,27 @@
+// Deterministic iteration over unordered associative containers.
+//
+// Hash-map iteration order is not stable across platforms or runs, so the
+// deterministic modules (see tools/declint) may never range-for over one.
+// The sanctioned pattern is "iterate a sorted key vector"; this helper is
+// that pattern, centralized: it materializes the keys and sorts them with
+// the caller's comparator, so every walk driven by the result visits
+// entries in the same order everywhere.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace decloud {
+
+/// All keys of `map`, sorted by `cmp`.  O(n log n); intended for cold
+/// paths (state serialization, reporting), not per-bid work.
+template <typename Map, typename Compare>
+[[nodiscard]] std::vector<typename Map::key_type> sorted_keys(const Map& map, Compare cmp) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (auto it = map.begin(); it != map.end(); ++it) keys.push_back(it->first);
+  std::sort(keys.begin(), keys.end(), cmp);
+  return keys;
+}
+
+}  // namespace decloud

@@ -49,6 +49,24 @@
 //   --journal-limit N   per-ring journal capacity in events (default
 //                       65536); overflowing rings drop their OLDEST
 //                       events and count the drops
+//   --wal-dir DIR       durable mode (DESIGN.md §3k): append every input
+//                       to a per-shard write-ahead log in DIR before
+//                       applying it.  Forces the producer's cross-round
+//                       index cache off (snapshots do not carry it);
+//                       cache-off outcomes are bit-identical by contract.
+//   --snapshot-every N  write a deterministic snapshot of the whole
+//                       engine after every N epochs (needs --wal-dir;
+//                       must be >= 1 when given; default = no snapshots,
+//                       recovery then replays the whole WAL)
+//   --recover           recover from --wal-dir (latest snapshot + WAL
+//                       tail replay), then resume the run to completion.
+//                       The recovered run's summary/metrics/journal are
+//                       byte-identical to an uninterrupted run's.
+//   --crash-plan SPEC   crash chaos: a fault plan whose crash_at_site
+//                       rules hard-kill the process (exit 86) at durable
+//                       crash sites (fault/crash.hpp).  Driven by a
+//                       SEPARATE injector from --fault-plan, so reference
+//                       and recovery runs simply omit this flag.
 //
 // A fault plan does not break determinism: the same plan + seed yields
 // byte-identical exports at any --threads value (the CI chaos job diffs
@@ -69,9 +87,11 @@
 #include "engine/epoch_scheduler.hpp"
 #include "fault/fault.hpp"
 #include "journal/journal.hpp"
+#include "fault/injector.hpp"
 #include "obs/clock.hpp"
 #include "stream/stream_driver.hpp"
 #include "stream/streaming_market.hpp"
+#include "wal/durable/durable.hpp"
 
 namespace {
 
@@ -133,6 +153,11 @@ int main(int argc, char** argv) {
   std::size_t watermark = 0;
   const char* journal_out = nullptr;
   std::size_t journal_limit = 65536;
+  const char* wal_dir = nullptr;
+  std::uint64_t snapshot_every = 0;
+  bool snapshot_every_set = false;
+  bool recover = false;
+  const char* crash_plan = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -178,6 +203,15 @@ int main(int argc, char** argv) {
       journal_out = next();
     } else if (std::strcmp(argv[i], "--journal-limit") == 0) {
       journal_limit = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--wal-dir") == 0) {
+      wal_dir = next();
+    } else if (std::strcmp(argv[i], "--snapshot-every") == 0) {
+      snapshot_every = std::strtoull(next(), nullptr, 10);
+      snapshot_every_set = true;
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
+    } else if (std::strcmp(argv[i], "--crash-plan") == 0) {
+      crash_plan = next();
     } else if (std::strcmp(argv[i], "--scoring") == 0) {
       const char* mode = next();
       if (std::strcmp(mode, "auto") == 0) {
@@ -198,7 +232,9 @@ int main(int argc, char** argv) {
                    "          [--fault-plan SPEC] [--fault-seed N] [--retry-attempts N]\n"
                    "          [--scoring auto|dense|pruned]\n"
                    "          [--stream] [--microepoch-bids N] [--watermark K]\n"
-                   "          [--journal-out PATH] [--journal-limit N]\n",
+                   "          [--journal-out PATH] [--journal-limit N]\n"
+                   "          [--wal-dir DIR] [--snapshot-every N] [--recover]\n"
+                   "          [--crash-plan SPEC]\n",
                    argv[0]);
       return 2;
     }
@@ -206,6 +242,36 @@ int main(int argc, char** argv) {
   if (shards == 0) {
     std::fprintf(stderr, "engine_driver: --shards must be >= 1\n");
     return 2;
+  }
+  // Flag-combination validation: refuse contradictory durable/stream
+  // configurations outright with a one-line diagnostic instead of running
+  // a subtly meaningless market.
+  if (snapshot_every_set && snapshot_every == 0) {
+    std::fprintf(stderr, "engine_driver: --snapshot-every must be >= 1\n");
+    return 2;
+  }
+  if (snapshot_every_set && wal_dir == nullptr) {
+    std::fprintf(stderr, "engine_driver: --snapshot-every needs --wal-dir\n");
+    return 2;
+  }
+  if (recover && wal_dir == nullptr) {
+    std::fprintf(stderr, "engine_driver: --recover needs --wal-dir\n");
+    return 2;
+  }
+  if (crash_plan != nullptr && wal_dir == nullptr) {
+    std::fprintf(stderr, "engine_driver: --crash-plan needs --wal-dir (crashing without a WAL "
+                         "leaves nothing to recover)\n");
+    return 2;
+  }
+  if (stream_mode) {
+    const std::size_t effective_bids =
+        microepoch_bids == SIZE_MAX ? bids_per_epoch : microepoch_bids;
+    if (effective_bids == 0 && watermark == 0) {
+      std::fprintf(stderr,
+                   "engine_driver: --stream needs a micro-epoch trigger (--microepoch-bids or "
+                   "--watermark >= 1); with neither the market would never clear\n");
+      return 2;
+    }
   }
 
   obs::SteadyClock steady;
@@ -241,6 +307,19 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  fault::FaultPlan crash_fault_plan;
+  if (crash_plan != nullptr) {
+    try {
+      crash_fault_plan = fault::FaultPlan::parse(crash_plan);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "engine_driver: bad --crash-plan: %s\n", e.what());
+      return 2;
+    }
+  }
+  // Durable mode trades the producer's cross-round index cache for
+  // snapshot/replay simplicity; cache-off outcomes are bit-identical by
+  // contract (wal/durable/durable.hpp).
+  if (wal_dir != nullptr) config.market.reuse_candidate_index = false;
 
   engine::TraceDriverConfig driver;
   driver.workload.num_requests = requests;
@@ -248,6 +327,37 @@ int main(int argc, char** argv) {
   driver.located_fraction = 0.9;
   driver.bids_per_epoch = bids_per_epoch;
   driver.seed = seed;
+
+  // The crash injector is SEPARATE from the engine's --fault-plan one
+  // (fault/crash.hpp); it shares --fault-seed, which is safe because the
+  // coin folds in the fault kind.
+  const fault::FaultInjector crash_injector(crash_fault_plan, fault_seed);
+  wal::DurableOptions durable;
+  if (wal_dir != nullptr) {
+    durable.wal_dir = wal_dir;
+    durable.snapshot_every = snapshot_every;
+    durable.recover = recover;
+    durable.crash = crash_plan != nullptr ? &crash_injector : nullptr;
+    // Everything that shapes results goes into the fingerprint; thread
+    // count (legitimately different on recovery), output paths, snapshot
+    // cadence, and the crash plan (only the crashed run carries one) stay
+    // out.
+    const std::size_t effective_bids =
+        microepoch_bids == SIZE_MAX ? bids_per_epoch : microepoch_bids;
+    const std::string canonical =
+        "shards=" + std::to_string(shards) + ";requests=" + std::to_string(requests) +
+        ";offers=" + std::to_string(driver.workload.num_offers) +
+        ";bids_per_epoch=" + std::to_string(bids_per_epoch) + ";seed=" + std::to_string(seed) +
+        ";retry=" + std::to_string(retry_attempts) +
+        ";scoring=" + std::to_string(static_cast<int>(scoring)) +
+        ";fault_seed=" + std::to_string(fault_seed) +
+        ";fault_plan=" + config.fault_plan.canonical() +
+        ";journal=" + std::to_string(config.journal_capacity) +
+        ";stream=" + std::to_string(stream_mode ? 1 : 0) +
+        ";microepoch_bids=" + std::to_string(stream_mode ? effective_bids : 0) +
+        ";watermark=" + std::to_string(stream_mode ? watermark : 0);
+    durable.fingerprint = wal::config_fingerprint(canonical);
+  }
 
   if (stream_mode) {
     stream::StreamConfig stream_config;
@@ -263,7 +373,17 @@ int main(int argc, char** argv) {
     stream_config.drain_epochs = driver.drain_epochs;
 
     stream::StreamingMarket market(std::move(stream_config));
-    const stream::StreamDriveOutcome outcome = drive_trace_stream(market, driver);
+    stream::StreamDriveOutcome outcome;
+    if (wal_dir != nullptr) {
+      try {
+        outcome = wal::drive_trace_stream_durable(market, driver, durable);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "engine_driver: %s\n", e.what());
+        return 1;
+      }
+    } else {
+      outcome = drive_trace_stream(market, driver);
+    }
 
     const journal::Journal* journal = market.market_engine().journal();
     if (journal != nullptr) {
@@ -290,7 +410,17 @@ int main(int argc, char** argv) {
 
   engine::MarketEngine market_engine(config);
   engine::EpochScheduler scheduler(market_engine, threads);
-  const engine::DriveOutcome outcome = drive_trace(market_engine, scheduler, driver);
+  engine::DriveOutcome outcome;
+  if (wal_dir != nullptr) {
+    try {
+      outcome = wal::drive_trace_durable(market_engine, scheduler, driver, durable);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "engine_driver: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    outcome = drive_trace(market_engine, scheduler, driver);
+  }
 
   const journal::Journal* journal = market_engine.journal();
   if (journal != nullptr) {

@@ -36,6 +36,10 @@
 #include "ledger/market.hpp"
 #include "obs/sink.hpp"
 
+namespace decloud::wal {
+class WalWriter;
+}
+
 namespace decloud::engine {
 
 /// Deterministic retry-with-backoff for refused ingests.  Off by default
@@ -173,6 +177,28 @@ class MarketEngine {
   [[nodiscard]] journal::Journal* journal() { return journal_.get(); }
   [[nodiscard]] const journal::Journal* journal() const { return journal_.get(); }
 
+  /// Attaches the write-ahead log (not owned, may be null).  Every submit
+  /// then appends its bid to the WAL BEFORE applying it (log-before-apply)
+  /// and shard rounds fingerprint their chain appends.  Durable mode
+  /// requires the engine's single-producer discipline: input_seq order
+  /// must equal apply order (DESIGN.md §3k).
+  void set_wal_writer(wal::WalWriter* wal) { wal_ = wal; }
+
+  /// Attaches the crash-chaos injector (not owned, may be null) — a
+  /// SEPARATE injector from config.fault_plan's, driving only
+  /// fault::kCrashAtSite sites (see fault/crash.hpp for why).
+  void set_crash_injector(const fault::FaultInjector* injector) { crash_ = injector; }
+  [[nodiscard]] const fault::FaultInjector* crash_injector() const { return crash_; }
+
+  /// Snapshot/restore of the whole engine at a quiescent point: every
+  /// shard's ingest queue must be drained (encode asserts), so what is
+  /// serialized per shard is its counters, the deferral buffer, and the
+  /// shard market's state, plus the engine-global counters, the flight
+  /// recorder, and every sink's metrics registry.  Restore must run on a
+  /// freshly constructed engine with the identical EngineConfig.
+  void encode_state(ByteWriter& w) const;
+  void restore_state(ByteReader& r);
+
  private:
   struct IngestItem {
     std::variant<auction::Request, auction::Offer> bid;
@@ -206,7 +232,7 @@ class MarketEngine {
     /// due-epochs, written by the (single) consumer at each tick.
     dsched::atomic<std::uint64_t> epochs_started{0};
     /// Deferral buffer (guarded: producers park, the consumer flushes).
-    dsched::mutex deferred_mutex;
+    mutable dsched::mutex deferred_mutex;
     std::vector<Deferred> deferred;
     dsched::atomic<std::size_t> retries_scheduled{0};
     // Consumer-side counters (only the scheduler's shard thread touches
@@ -243,6 +269,9 @@ class MarketEngine {
   // orchestrator), and the vector is sized once in the constructor.
   std::vector<std::unique_ptr<Shard>> shards_;
   dsched::atomic<std::size_t> rejected_unroutable_{0};
+  /// Durable-market attachments (both null outside durable mode).
+  wal::WalWriter* wal_ = nullptr;
+  const fault::FaultInjector* crash_ = nullptr;
 };
 
 }  // namespace decloud::engine

@@ -2,6 +2,8 @@
 
 #include "common/audit.hpp"
 #include "common/ensure.hpp"
+#include "fault/crash.hpp"
+#include "wal/wal.hpp"
 
 namespace decloud::engine {
 
@@ -14,6 +16,12 @@ EpochScheduler::EpochScheduler(MarketEngine& engine, std::size_t threads) : engi
 }
 
 void EpochScheduler::tick(Time now, journal::CloseReason reason, std::uint64_t submissions) {
+  if (wal_ != nullptr) {
+    // Log-before-apply: the tick record is durable before any shard work
+    // starts, so a crash mid-epoch replays the whole tick.
+    (void)wal_->append_tick(now, static_cast<std::uint8_t>(reason), submissions);
+    fault::crash_if(engine_.crash_injector(), fault::CrashSite::kAfterTickAppend, epochs_);
+  }
   // One chunk per shard: the chunk layout (hence which bodies run) is
   // fixed, and each body touches only its own shard's state.  The "epoch"
   // span lives on the scheduler's own sink, so the workers (which write
@@ -44,6 +52,20 @@ std::size_t EpochScheduler::run(std::size_t max_epochs, Time start_time,
     now += epoch_interval;
   }
   return epochs_ - before;
+}
+
+void EpochScheduler::encode_state(ByteWriter& w) const {
+  w.write_u64(epochs_);
+  w.write_u8(sink_ != nullptr ? 1 : 0);
+  if (sink_ != nullptr) sink_->metrics().encode(w);
+}
+
+void EpochScheduler::restore_state(ByteReader& r) {
+  epochs_ = r.read_u64();
+  const bool has_sink = r.read_u8() != 0;
+  DECLOUD_EXPECTS_MSG(has_sink == (sink_ != nullptr),
+                      "scheduler snapshot observability differs from the configured engine");
+  if (has_sink) sink_->metrics().decode(r);
 }
 
 EngineReport EpochScheduler::report() const {

@@ -64,12 +64,26 @@ class EpochScheduler {
   }
   [[nodiscard]] std::string trace_json() const { return engine_.trace_json(sink_.get()); }
 
+  /// Attaches the write-ahead log (not owned, may be null).  BATCH mode
+  /// only: every tick then logs a kTick input record before running, so
+  /// replay can re-issue the exact tick sequence.  Stream mode must NOT
+  /// attach here — its ticks are derived from logged bids/clock/flush
+  /// inputs and re-fire during replay (DESIGN.md §3k).
+  void set_wal_writer(wal::WalWriter* wal) { wal_ = wal; }
+
+  /// Snapshot/restore of the scheduler's own state: the epoch counter and
+  /// its sink's metrics registry.
+  void encode_state(ByteWriter& w) const;
+  void restore_state(ByteReader& r);
+
  private:
   MarketEngine& engine_;
   std::optional<ThreadPool> pool_;  // absent on the serial path
   std::size_t epochs_ = 0;
   /// Touched only by the thread calling tick(); workers never see it.
   std::unique_ptr<obs::MetricsSink> sink_;
+  /// Batch-mode WAL attachment (null otherwise); see set_wal_writer.
+  wal::WalWriter* wal_ = nullptr;
 };
 
 }  // namespace decloud::engine

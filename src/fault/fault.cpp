@@ -13,6 +13,7 @@ constexpr std::string_view kKindNames[kNumFaultKinds] = {
     "withhold_reveal",    "corrupt_sealed_bid", "duplicate_sealed_bid",
     "corrupt_allocation", "dishonest_vote",     "deny_agreement",
     "drop_message",       "delay_message",      "reject_ingest",
+    "crash_at_site",
 };
 
 [[nodiscard]] bool in_window(std::uint64_t v, std::uint64_t lo, std::uint64_t hi) {

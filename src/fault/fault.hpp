@@ -44,9 +44,10 @@ enum class FaultKind : std::uint8_t {
   kDropMessage,          ///< sim overlay eats a message
   kDelayMessage,         ///< sim overlay adds `payload` ms of extra latency
   kRejectIngest,         ///< engine shard queue refuses an ingest
+  kCrashAtSite,          ///< process exits hard at a durable-market crash site
 };
 
-inline constexpr std::size_t kNumFaultKinds = 9;
+inline constexpr std::size_t kNumFaultKinds = 10;
 
 /// Canonical spelling used by the plan grammar ("withhold_reveal", …).
 [[nodiscard]] std::string_view to_string(FaultKind kind);

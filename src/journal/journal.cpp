@@ -7,37 +7,21 @@
 
 #include "common/byte_buffer.hpp"
 #include "common/ensure.hpp"
+#include "journal/wire.hpp"
 #include "stats/histogram.hpp"
 
 namespace decloud::journal {
 namespace {
 
+using wire::read_varint;
+using wire::write_varint;
+
 // Wire magic: "DCJ1" + a version byte.  The magic pins byte order and
-// format family; the version gates incompatible schema changes.
+// format family; the version gates incompatible schema changes.  Varint /
+// CRC primitives live in journal/wire.hpp, shared with the WAL's "DCW1"
+// format.
 constexpr std::uint8_t kMagic[4] = {'D', 'C', 'J', '1'};
 constexpr std::uint8_t kVersion = 1;
-
-// Unsigned LEB128 on top of ByteWriter/ByteReader — most operands are
-// small (shard indices, epochs, attempt counts), so varints keep the
-// encoding compact without a schema per kind.
-void write_varint(ByteWriter& w, std::uint64_t v) {
-  while (v >= 0x80) {
-    w.write_u8(static_cast<std::uint8_t>((v & 0x7F) | 0x80));
-    v >>= 7;
-  }
-  w.write_u8(static_cast<std::uint8_t>(v));
-}
-
-std::uint64_t read_varint(ByteReader& r) {
-  std::uint64_t v = 0;
-  for (unsigned shift = 0; shift < 64; shift += 7) {
-    const std::uint8_t byte = r.read_u8();
-    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return v;
-  }
-  DECLOUD_EXPECTS_MSG(false, "journal varint overruns 64 bits");
-  return 0;
-}
 
 void append_double(std::string& out, double v) {
   char buf[64];
@@ -169,39 +153,48 @@ std::vector<std::uint8_t> Journal::encode() const {
 Journal Journal::decode(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   for (const std::uint8_t expected : kMagic) {
-    DECLOUD_EXPECTS_MSG(r.read_u8() == expected, "journal magic mismatch");
+    wire::check(wire::read_u8(r) == expected, "journal magic mismatch");
   }
-  DECLOUD_EXPECTS_MSG(r.read_u8() == kVersion, "journal version mismatch");
+  wire::check(wire::read_u8(r) == kVersion, "journal version mismatch");
   const std::uint64_t capacity = read_varint(r);
   const std::uint64_t num_rings = read_varint(r);
-  DECLOUD_EXPECTS_MSG(capacity > 0 && num_rings >= 1, "journal header invalid");
+  wire::check(capacity > 0 && num_rings >= 1, "journal header invalid");
+  // A corrupt ring count must not drive a huge up-front allocation: each
+  // non-empty ring needs at least 3 header bytes, so bound by remaining().
+  wire::check(num_rings <= r.remaining(), "journal ring count exceeds input size");
   Journal journal(static_cast<std::size_t>(num_rings), static_cast<std::size_t>(capacity));
   for (std::size_t ring = 0; ring < num_rings; ++ring) {
     Ring& dst = *journal.rings_[ring];
     dst.dropped = read_varint(r);
     const std::uint64_t first_seq = read_varint(r);
     const std::uint64_t count = read_varint(r);
-    DECLOUD_EXPECTS_MSG(count <= capacity, "journal ring count exceeds capacity");
+    wire::check(count <= capacity, "journal ring count exceeds capacity");
+    wire::check(count <= r.remaining(), "journal ring count exceeds input size");
     dst.next_seq = first_seq;
     for (std::uint64_t i = 0; i < count; ++i) {
       Event e;
-      const std::uint8_t kind = r.read_u8();
-      DECLOUD_EXPECTS_MSG(kind < kNumEventKinds, "journal event kind out of range");
+      const std::uint8_t kind = wire::read_u8(r);
+      wire::check(kind < kNumEventKinds, "journal event kind out of range");
       e.kind = static_cast<EventKind>(kind);
       e.epoch = read_varint(r);
       e.a = read_varint(r);
       e.b = read_varint(r);
       e.c = read_varint(r);
       const std::size_t doubles = kind_doubles(e.kind);
-      if (doubles >= 1) e.x = r.read_double();
-      if (doubles >= 2) e.y = r.read_double();
+      if (doubles >= 1) e.x = wire::read_double(r);
+      if (doubles >= 2) e.y = wire::read_double(r);
       e.seq = dst.next_seq++;
       dst.buf.push_back(e);
       ++dst.count;
     }
   }
-  DECLOUD_EXPECTS_MSG(r.exhausted(), "journal has trailing bytes");
+  wire::check(r.exhausted(), "journal has trailing bytes");
   return journal;
+}
+
+void Journal::adopt(Journal&& other) {
+  capacity_ = other.capacity_;
+  rings_ = std::move(other.rings_);
 }
 
 std::string Journal::export_jsonl() const {

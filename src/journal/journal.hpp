@@ -137,10 +137,18 @@ class Journal {
   /// thread counts — the string the determinism CI jobs cmp(1).
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
 
-  /// Inverse of encode(); throws decloud::precondition_error on a
-  /// malformed buffer (bad magic, truncation, unknown kind) so a corrupt
-  /// journal file fails loudly in journal_query instead of misparsing.
+  /// Inverse of encode(); throws journal::wire::decode_error on ANY
+  /// malformed buffer — bad magic, truncation (even mid-varint), unknown
+  /// kind, impossible counts, trailing bytes — so a corrupt journal file
+  /// fails loudly in journal_query instead of misparsing into silent
+  /// partial state.
   [[nodiscard]] static Journal decode(std::span<const std::uint8_t> bytes);
+
+  /// Replaces this journal's contents (capacity, rings, drop counts, seq
+  /// counters) with `other`'s.  Used by crash recovery to install a
+  /// journal restored from a snapshot into the engine's live instance.
+  /// Single-threaded use only — the engine must be quiescent.
+  void adopt(Journal&& other);
 
   /// One JSON object per line: a ring_header line per ring (dropped /
   /// first_seq / events) followed by its events, rings in fixed order,

@@ -1,0 +1,85 @@
+#include "journal/wire.hpp"
+
+#include <array>
+
+namespace decloud::journal::wire {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+void write_varint(ByteWriter& w, std::uint64_t v) {
+  while (v >= 0x80) {
+    w.write_u8(static_cast<std::uint8_t>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  w.write_u8(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t read_varint(ByteReader& r) {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = read_u8(r);
+    if (shift == 63) {
+      // 10th byte: only bit 0 fits — anything larger would overflow (or
+      // encode the value non-canonically by smuggling dropped high bits).
+      check(byte <= 1, "varint overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  throw decode_error("varint overruns 64 bits");
+}
+
+std::uint8_t read_u8(ByteReader& r) {
+  check(r.remaining() >= 1, "truncated input: expected u8");
+  return r.read_u8();
+}
+
+std::uint32_t read_u32(ByteReader& r) {
+  check(r.remaining() >= 4, "truncated input: expected u32");
+  return r.read_u32();
+}
+
+std::uint64_t read_u64(ByteReader& r) {
+  check(r.remaining() >= 8, "truncated input: expected u64");
+  return r.read_u64();
+}
+
+std::int64_t read_i64(ByteReader& r) { return static_cast<std::int64_t>(read_u64(r)); }
+
+double read_double(ByteReader& r) {
+  check(r.remaining() >= 8, "truncated input: expected double");
+  return r.read_double();
+}
+
+std::vector<std::uint8_t> read_blob(ByteReader& r) {
+  const std::uint32_t len = read_u32(r);
+  check(r.remaining() >= len, "truncated input: blob length exceeds remaining bytes");
+  std::vector<std::uint8_t> out;
+  out.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) out.push_back(r.read_u8());
+  return out;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (const std::uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+}  // namespace decloud::journal::wire

@@ -1,0 +1,59 @@
+// Shared wire codec for the journal ("DCJ1") and WAL ("DCW1") formats.
+//
+// Both formats are varint-heavy little-endian streams that must decode
+// defensively: a truncated or bit-flipped file is an expected input (torn
+// writes, disk corruption), never grounds for UB or silently adopting a
+// partial state.  Every decode failure throws `decode_error` with a
+// one-line diagnostic; the checked read helpers here are the ONLY way the
+// journal and WAL decoders touch a ByteReader, so truncation surfaces as
+// decode_error instead of the reader's precondition_error.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "common/byte_buffer.hpp"
+
+namespace decloud::journal::wire {
+
+/// Thrown for any malformed "DCJ1"/"DCW1" byte stream — truncation,
+/// overlong varints, bad magic, CRC mismatch, impossible counts.
+class decode_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throws decode_error(what) when `cond` is false.
+inline void check(bool cond, const char* what) {
+  if (!cond) throw decode_error(what);
+}
+
+/// Unsigned LEB128.  Most operands are small (shard indices, epochs,
+/// attempt counts), so varints keep the encoding compact without a schema
+/// per record kind.
+void write_varint(ByteWriter& w, std::uint64_t v);
+
+/// Reads a canonical unsigned LEB128 value.  Throws decode_error on
+/// truncation, on encodings longer than 10 bytes, and on a 10th byte that
+/// would overflow 64 bits (the final byte must be <= 1) — overflowing
+/// encodings used to be silently truncated to their low bits.
+std::uint64_t read_varint(ByteReader& r);
+
+/// Checked ByteReader wrappers: identical semantics, but truncation throws
+/// decode_error instead of precondition_error.
+std::uint8_t read_u8(ByteReader& r);
+std::uint32_t read_u32(ByteReader& r);
+std::uint64_t read_u64(ByteReader& r);
+std::int64_t read_i64(ByteReader& r);
+double read_double(ByteReader& r);
+/// Length-prefixed (u32) raw bytes, validated against `r.remaining()`
+/// BEFORE allocating, so a corrupt length cannot trigger a huge alloc.
+std::vector<std::uint8_t> read_blob(ByteReader& r);
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) over `bytes`.
+/// Frames every WAL record so bit flips are detected, not replayed.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+}  // namespace decloud::journal::wire

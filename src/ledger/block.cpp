@@ -34,8 +34,14 @@ bool validate_preamble(const BlockPreamble& preamble, unsigned difficulty_bits) 
 }
 
 crypto::Digest Blockchain::tip_hash() const {
-  if (blocks_.empty()) return crypto::Digest{};
+  if (blocks_.empty()) return base_hash_;
   return blocks_.back().preamble.hash();
+}
+
+void Blockchain::restore_checkpoint(std::uint64_t height, const crypto::Digest& tip_hash) {
+  blocks_.clear();
+  base_height_ = height;
+  base_hash_ = tip_hash;
 }
 
 bool Blockchain::append(Block block, unsigned difficulty_bits) {

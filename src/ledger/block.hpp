@@ -67,19 +67,35 @@ struct Block {
 [[nodiscard]] bool validate_preamble(const BlockPreamble& preamble, unsigned difficulty_bits);
 
 /// An append-only chain of blocks with genesis handling.
+///
+/// Supports *checkpoint truncation* for snapshot/restore: a chain restored
+/// from a (height, tip hash) checkpoint behaves exactly like the original
+/// for everything the protocol reads going forward — height(), tip_hash(),
+/// linkage checks on append() — without carrying the old block bodies
+/// (nothing in EngineReport / journal / metrics reads them after the round
+/// that produced them).
 class Blockchain {
  public:
   /// Hash of the latest block (all-zero before any block exists).
   [[nodiscard]] crypto::Digest tip_hash() const;
-  [[nodiscard]] std::uint64_t height() const { return blocks_.size(); }
+  [[nodiscard]] std::uint64_t height() const { return base_height_ + blocks_.size(); }
+  /// Blocks appended since the checkpoint (all of them when base is 0).
   [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  [[nodiscard]] std::uint64_t base_height() const { return base_height_; }
 
   /// Appends a block after checking linkage (prev_hash/height) and PoW.
   /// Returns false (and leaves the chain untouched) on any mismatch.
   bool append(Block block, unsigned difficulty_bits);
 
+  /// Resets to a checkpoint: the chain reports `height` and `tip_hash`
+  /// with no block bodies retained.  Only valid on an empty chain or
+  /// during restore; discards any held blocks.
+  void restore_checkpoint(std::uint64_t height, const crypto::Digest& tip_hash);
+
  private:
   std::vector<Block> blocks_;
+  std::uint64_t base_height_ = 0;
+  crypto::Digest base_hash_{};
 };
 
 }  // namespace decloud::ledger

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "auction/allocation.hpp"
+#include "common/byte_buffer.hpp"
 #include "common/types.hpp"
 
 namespace decloud::ledger {
@@ -71,6 +72,13 @@ class ReputationRegistry {
 
   [[nodiscard]] double score(ClientId client) const;
   [[nodiscard]] std::size_t consecutive_denials(ClientId client) const;
+
+  /// Snapshot/restore of the score table (entries in sorted ClientId
+  /// order, so the bytes are deterministic despite the unordered map).
+  /// Config is NOT serialized — the restoring side reconstructs it from
+  /// the run configuration and the fingerprint check catches drift.
+  void encode_state(ByteWriter& w) const;
+  void restore_state(ByteReader& r);
 
  private:
   struct Entry {
@@ -135,6 +143,12 @@ class AgreementContract {
   [[nodiscard]] const std::vector<ProviderId>& pending_resubmissions() const {
     return pending_resubmissions_;
   }
+
+  /// Snapshot/restore of the full contract state: agreements (sorted by
+  /// ContractId), pending resubmissions, the id counter, and the
+  /// reputation registry.
+  void encode_state(ByteWriter& w) const;
+  void restore_state(ByteReader& r);
 
  private:
   Agreement* lookup(ContractId id);

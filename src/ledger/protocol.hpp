@@ -183,6 +183,14 @@ class LedgerProtocol {
     journal_ring_ = ring;
   }
 
+  /// Snapshot/restore of the protocol's durable state: chain checkpoint
+  /// (height + tip hash — block bodies are not retained, see
+  /// Blockchain::restore_checkpoint), contract state, and the producer
+  /// penalty count.  Only valid at a quiescent point: the mempool must be
+  /// empty (rounds drain it), which encode asserts.
+  void encode_state(ByteWriter& w) const;
+  void restore_state(ByteReader& r);
+
  private:
   ConsensusParams params_;
   Miner producer_;

@@ -1,6 +1,7 @@
 #include "stream/streaming_market.hpp"
 
 #include "common/ensure.hpp"
+#include "wal/wal.hpp"
 
 namespace decloud::stream {
 
@@ -88,6 +89,8 @@ StreamAdmission StreamingMarket::submit(const auction::Offer& offer) {
 
 bool StreamingMarket::advance_clock(std::uint64_t ticks) {
   DECLOUD_EXPECTS_MSG(ticks > 0, "clock advances strictly forward");
+  // Log-before-apply: a clock advance is an input like any bid.
+  if (wal_ != nullptr) (void)wal_->append_clock_advance(ticks);
   clock_ += ticks;
   if (config_.triggers.watermark != 0 && clock_ - closed_clock_ >= config_.triggers.watermark) {
     close_micro_epoch(CloseReason::kWatermark);
@@ -97,6 +100,9 @@ bool StreamingMarket::advance_clock(std::uint64_t ticks) {
 }
 
 bool StreamingMarket::flush() {
+  // Logged even when it no-ops: replay re-runs the same no-op, keeping the
+  // input sequence aligned with what the caller actually did.
+  if (wal_ != nullptr) (void)wal_->append_flush();
   // Only close over PENDING submissions: an empty flush would still tick
   // the scheduler, desynchronizing the epoch count (hence the timestamp
   // sequence and the report) from an aligned batch run.
@@ -120,6 +126,26 @@ std::size_t StreamingMarket::drain() {
     m.counter("stream.close_drain").add(ran);
   }
   return ran;
+}
+
+void StreamingMarket::encode_state(ByteWriter& w) const {
+  w.write_u64(clock_);
+  w.write_u64(submitted_);
+  w.write_u64(closed_clock_);
+  w.write_u64(closed_submitted_);
+  w.write_u8(sink_ != nullptr ? 1 : 0);
+  if (sink_ != nullptr) sink_->metrics().encode(w);
+}
+
+void StreamingMarket::restore_state(ByteReader& r) {
+  clock_ = r.read_u64();
+  submitted_ = r.read_u64();
+  closed_clock_ = r.read_u64();
+  closed_submitted_ = r.read_u64();
+  const bool has_sink = r.read_u8() != 0;
+  DECLOUD_EXPECTS_MSG(has_sink == (sink_ != nullptr),
+                      "stream snapshot observability differs from the configured market");
+  if (has_sink) sink_->metrics().decode(r);
 }
 
 std::string StreamingMarket::metrics_json() const {

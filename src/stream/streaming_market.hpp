@@ -142,6 +142,19 @@ class StreamingMarket {
   /// the journal telemetry sink after the stream's).
   [[nodiscard]] const obs::MetricsSink* sink() const { return sink_.get(); }
 
+  /// Attaches the write-ahead log (not owned, may be null) for the
+  /// stream's OWN inputs — clock advances and flushes.  Bids are logged
+  /// by the engine (attach there too); micro-epoch closes are NOT logged:
+  /// they re-fire deterministically when replay re-feeds the logged
+  /// inputs, which is why stream mode never attaches the scheduler
+  /// (DESIGN.md §3k).
+  void set_wal_writer(wal::WalWriter* wal) { wal_ = wal; }
+
+  /// Snapshot/restore of the stream's own trigger state (logical clock
+  /// and submission counters) plus its sink's metrics registry.
+  void encode_state(ByteWriter& w) const;
+  void restore_state(ByteReader& r);
+
  private:
   /// Close attribution is the journal's own taxonomy so the kEpochClose
   /// events a stream run journals are byte-comparable with an aligned
@@ -166,6 +179,8 @@ class StreamingMarket {
   std::size_t submitted_ = 0;     ///< submissions seen (any admission outcome)
   std::uint64_t closed_clock_ = 0;    ///< clock_ at the last close
   std::size_t closed_submitted_ = 0;  ///< submitted_ at the last close
+  /// Durable-mode WAL attachment (null otherwise); see set_wal_writer.
+  wal::WalWriter* wal_ = nullptr;
 };
 
 }  // namespace decloud::stream

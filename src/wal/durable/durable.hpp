@@ -1,0 +1,84 @@
+// Durable-market composition: snapshot payloads, recovery, and the
+// resume drivers (DESIGN.md §3k).
+//
+// The low-level pieces live one directory up (wal/wal.hpp framing and
+// segments, wal/snapshot.hpp atomic snapshot files); this layer knows the
+// ENGINE — it composes the snapshot payload out of the engine, scheduler,
+// and stream state blobs, replays a WAL tail through the normal submit and
+// tick paths, and then continues the trace drive from exactly where the
+// dead process stopped.  The byte-identity contract: a crashed-and-
+// recovered run's EngineReport, journal bytes, and metrics exports equal
+// an uninterrupted run's at any thread count, chaos included.
+//
+// What recovery does, in order:
+//   1. load_wal: every segment's valid prefix, inputs merged by input_seq;
+//   2. restore the latest intact snapshot, if any (else start fresh);
+//   3. replay the input tail PAST the snapshot's watermark through the
+//      normal code paths, with the WAL writer detached (replay must not
+//      re-log) and no crash injector (a recovered run must get past the
+//      site that killed its predecessor);
+//   4. cross-check recovered chain tips against the WAL's block
+//      fingerprints;
+//   5. re-attach the writer in append mode (truncating torn tails) and
+//      resume the drive loop from the recovered position.
+//
+// Durable mode requires MarketConfig::reuse_candidate_index == false:
+// snapshots do not carry the producer's cross-round index cache, and the
+// cache-off contract is what guarantees bit-identical outcomes either
+// way.  The drivers assert this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "engine/driver.hpp"
+#include "fault/injector.hpp"
+#include "stream/stream_driver.hpp"
+#include "wal/snapshot.hpp"
+#include "wal/wal.hpp"
+
+namespace decloud::wal {
+
+/// Durable-mode parameters shared by both drivers.
+struct DurableOptions {
+  std::string wal_dir;
+  /// Snapshot after every N scheduler epochs (batch: submit ticks;
+  /// stream: micro-epoch closes).  0 = never snapshot; recovery then
+  /// replays the whole WAL from a fresh engine.
+  std::uint64_t snapshot_every = 0;
+  /// Recover from wal_dir (snapshot + tail replay) instead of starting a
+  /// fresh WAL.
+  bool recover = false;
+  /// fsync every WAL append (WalWriter::Options::sync).
+  bool sync = true;
+  /// Hash of the run configuration (config_fingerprint); checked against
+  /// every segment header and snapshot on recovery.
+  std::uint64_t fingerprint = 0;
+  /// The --crash-plan injector (not owned, may be null).  Attached to the
+  /// engine only for the LIVE portion of the run, never during replay.
+  const fault::FaultInjector* crash = nullptr;
+};
+
+/// FNV-1a (64-bit) over a canonical configuration string.  The driver
+/// builds the string from every flag that shapes results (workload,
+/// shards, seeds, fault plan, mode, triggers — NOT thread count, which
+/// may legitimately differ between the crashed and the recovering run,
+/// and NOT the crash plan, which only the crashed run carries).
+[[nodiscard]] std::uint64_t config_fingerprint(std::string_view canonical);
+
+/// Batch-mode durable drive: engine::drive_trace plus WAL logging,
+/// periodic snapshots, and (opts.recover) crash recovery.  Without a
+/// wal_dir this is an error — use drive_trace instead.
+engine::DriveOutcome drive_trace_durable(engine::MarketEngine& engine,
+                                         engine::EpochScheduler& scheduler,
+                                         const engine::TraceDriverConfig& config,
+                                         const DurableOptions& opts);
+
+/// Stream-mode durable drive: stream::drive_trace_stream plus WAL
+/// logging, snapshots at micro-epoch closes, and crash recovery.
+stream::StreamDriveOutcome drive_trace_stream_durable(stream::StreamingMarket& market,
+                                                      const engine::TraceDriverConfig& config,
+                                                      const DurableOptions& opts);
+
+}  // namespace decloud::wal

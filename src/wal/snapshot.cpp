@@ -1,0 +1,129 @@
+#include "wal/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/byte_buffer.hpp"
+#include "common/ensure.hpp"
+#include "journal/wire.hpp"
+
+namespace decloud::wal {
+namespace {
+
+namespace wire = journal::wire;
+
+constexpr char kMagic[4] = {'D', 'C', 'S', '1'};
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error("snapshot: " + what + " " + path + ": " + std::strerror(errno));
+}
+
+std::string snapshot_file_name(std::uint64_t epochs) {
+  return "snapshot-" + std::to_string(epochs) + ".dcs";
+}
+
+/// Parses "snapshot-<N>.dcs"; nullopt for anything else (temp files,
+/// foreign names, non-numeric suffixes).
+std::optional<std::uint64_t> parse_snapshot_name(const std::string& name) {
+  constexpr std::string_view kPrefix = "snapshot-";
+  constexpr std::string_view kSuffix = ".dcs";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t epochs = 0;
+  for (std::size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    epochs = epochs * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return epochs;
+}
+
+}  // namespace
+
+void write_snapshot(const std::string& dir, std::uint64_t epochs,
+                    std::span<const std::uint8_t> payload, std::uint64_t fingerprint,
+                    const fault::FaultInjector* crash) {
+  DECLOUD_EXPECTS_MSG(!dir.empty(), "snapshot needs a directory");
+  ByteWriter w;
+  for (const char c : kMagic) w.write_u8(static_cast<std::uint8_t>(c));
+  w.write_u8(kSnapshotVersion);
+  w.write_u64(fingerprint);
+  w.write_u64(epochs);
+  w.write_bytes(payload);
+  w.write_u32(wire::crc32(payload));
+  const std::vector<std::uint8_t>& bytes = w.bytes();
+
+  const std::string final_path = dir + "/" + snapshot_file_name(epochs);
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open failed for", tmp_path);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("write failed for", tmp_path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  (void)::fsync(fd);
+  ::close(fd);
+
+  fault::crash_if(crash, fault::CrashSite::kMidSnapshot, epochs);
+
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    throw_errno("rename failed for", tmp_path);
+  }
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+std::optional<std::string> find_latest_snapshot(const std::string& dir) {
+  std::optional<std::uint64_t> best;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::optional<std::uint64_t> epochs = parse_snapshot_name(entry.path().filename());
+    if (epochs && (!best || *epochs > *best)) best = epochs;
+  }
+  if (!best) return std::nullopt;
+  return dir + "/" + snapshot_file_name(*best);
+}
+
+SnapshotFile read_snapshot(const std::string& path, std::uint64_t fingerprint) {
+  std::ifstream in(path, std::ios::binary);
+  wire::check(in.good(), "snapshot file missing or unreadable");
+  const std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                        std::istreambuf_iterator<char>());
+  ByteReader r(bytes);
+  for (const char c : kMagic) {
+    wire::check(wire::read_u8(r) == static_cast<std::uint8_t>(c), "snapshot bad magic");
+  }
+  wire::check(wire::read_u8(r) == kSnapshotVersion, "snapshot version unsupported");
+  wire::check(wire::read_u64(r) == fingerprint,
+              "snapshot config fingerprint mismatch (run configuration differs from the "
+              "one that wrote it)");
+  SnapshotFile snapshot;
+  snapshot.epochs = wire::read_u64(r);
+  snapshot.payload = wire::read_blob(r);
+  wire::check(wire::read_u32(r) == wire::crc32(snapshot.payload), "snapshot payload CRC mismatch");
+  wire::check(r.exhausted(), "snapshot has trailing bytes");
+  return snapshot;
+}
+
+}  // namespace decloud::wal

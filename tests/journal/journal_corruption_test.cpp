@@ -1,0 +1,105 @@
+// Corrupt-input regressions for the shared "DCJ1"/"DCW1" wire codec:
+// truncation at EVERY prefix length, header bit flips, and overlong
+// varints must all surface as wire::decode_error — never UB, a raw
+// ByteReader precondition, or silently adopted partial state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/byte_buffer.hpp"
+#include "journal/journal.hpp"
+#include "journal/wire.hpp"
+
+namespace decloud::journal {
+namespace {
+
+Journal make_journal() {
+  Journal journal(2, 8);
+  journal.append(0, {EventKind::kEpochClose, 0, 1, 0, 10, 0});
+  journal.append(1, {EventKind::kTradeStruck, 0, 1, 3, 0, 0, 1.5, 0.25});
+  journal.append(1, {EventKind::kIngestAdmitted, 0, 2, 0, 7, 1});
+  journal.append(1, {EventKind::kBlockMined, 0, 2, 4, 9, 9, 11.0});
+  return journal;
+}
+
+TEST(JournalCorruption, EveryStrictPrefixThrows) {
+  const std::vector<std::uint8_t> bytes = make_journal().encode();
+  ASSERT_GT(bytes.size(), 8u);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(Journal::decode(prefix), wire::decode_error) << "prefix length " << len;
+  }
+  // The full buffer still round-trips.
+  EXPECT_NO_THROW(Journal::decode(bytes));
+}
+
+TEST(JournalCorruption, HeaderBitFlipsThrow) {
+  const std::vector<std::uint8_t> bytes = make_journal().encode();
+  // Magic (4 bytes) + version byte: any flip must be rejected outright.
+  for (std::size_t byte = 0; byte < 5; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> flipped = bytes;
+      flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_THROW(Journal::decode(flipped), wire::decode_error)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(JournalCorruption, TrailingBytesThrow) {
+  std::vector<std::uint8_t> bytes = make_journal().encode();
+  bytes.push_back(0);
+  EXPECT_THROW(Journal::decode(bytes), wire::decode_error);
+}
+
+TEST(WireCodec, VarintRoundTripAndLimits) {
+  for (const std::uint64_t v :
+       {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, 0xFFFFFFFFULL, ~0ULL}) {
+    ByteWriter w;
+    wire::write_varint(w, v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(wire::read_varint(r), v);
+    EXPECT_TRUE(r.exhausted());
+  }
+
+  // Truncated multi-byte varint: continuation bit set, stream ends.
+  {
+    const std::vector<std::uint8_t> bytes = {0x80};
+    ByteReader r(bytes);
+    EXPECT_THROW(wire::read_varint(r), wire::decode_error);
+  }
+  // Overlong: ten continuation bytes never terminate.
+  {
+    const std::vector<std::uint8_t> bytes(11, 0x80);
+    ByteReader r(bytes);
+    EXPECT_THROW(wire::read_varint(r), wire::decode_error);
+  }
+  // A 10th byte above 1 would overflow 64 bits; canonical decoders reject
+  // it instead of silently keeping the low bits.
+  {
+    std::vector<std::uint8_t> bytes(9, 0x80);
+    bytes.push_back(0x02);
+    ByteReader r(bytes);
+    EXPECT_THROW(wire::read_varint(r), wire::decode_error);
+  }
+}
+
+TEST(WireCodec, Crc32CheckVector) {
+  // The canonical IEEE 802.3 check value: crc32("123456789").
+  const std::vector<std::uint8_t> bytes = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(wire::crc32(bytes), 0xCBF43926u);
+  EXPECT_EQ(wire::crc32({}), 0x00000000u);
+}
+
+TEST(WireCodec, BlobLengthValidatedBeforeAlloc) {
+  // A blob length far beyond the remaining bytes must throw, not allocate.
+  ByteWriter w;
+  w.write_u32(0x7FFFFFFFu);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(wire::read_blob(r), wire::decode_error);
+}
+
+}  // namespace
+}  // namespace decloud::journal

@@ -9,6 +9,7 @@
 
 #include "common/ensure.hpp"
 #include "journal/journal.hpp"
+#include "journal/wire.hpp"
 #include "obs/sink.hpp"
 
 namespace decloud::journal {
@@ -175,18 +176,20 @@ TEST(Journal, AppendAndDecodePreconditions) {
   EXPECT_THROW(journal.size(5), precondition_error);
   EXPECT_THROW(journal.events(5), precondition_error);
 
-  // Malformed buffers fail loudly, never misparse.
-  EXPECT_THROW(Journal::decode({}), precondition_error);
+  // Malformed buffers fail loudly with the structured decode error (a
+  // caller mixing up files gets a parse diagnostic, not a crashed
+  // invariant), never misparse.
+  EXPECT_THROW(Journal::decode({}), wire::decode_error);
   const std::vector<std::uint8_t> bad_magic = {'X', 'C', 'J', '1', 1, 4, 2};
-  EXPECT_THROW(Journal::decode(bad_magic), precondition_error);
+  EXPECT_THROW(Journal::decode(bad_magic), wire::decode_error);
   std::vector<std::uint8_t> truncated = journal.encode();
   journal.append(0, make(EventKind::kTradeStruck, 1, 0, 0, 0, 1.0, 2.0));
   truncated = journal.encode();
   truncated.resize(truncated.size() - 3);  // cut into the trailing doubles
-  EXPECT_THROW(Journal::decode(truncated), precondition_error);
+  EXPECT_THROW(Journal::decode(truncated), wire::decode_error);
   std::vector<std::uint8_t> trailing = journal.encode();
   trailing.push_back(0);
-  EXPECT_THROW(Journal::decode(trailing), precondition_error);
+  EXPECT_THROW(Journal::decode(trailing), wire::decode_error);
 }
 
 }  // namespace

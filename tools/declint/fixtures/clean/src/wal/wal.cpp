@@ -1,0 +1,68 @@
+// PASS fixture for declint over src/wal/ (NOT compiled): the shape a
+// compliant write-ahead-log file takes — checked decode/merge/append
+// boundaries, logical-sequence stamps only, segments walked in fixed
+// index order.  The declint.wal_clean ctest scans exactly this tree and
+// must stay clean; paired with declint.wal_fixture (WILL_FAIL) it pins
+// both directions of every rule the wal module is subject to.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace decloud::wal {
+
+void check(bool ok, const char* what);
+
+struct Record {
+  std::uint64_t input_seq = 0;
+};
+
+struct SegmentContents {
+  std::vector<Record> records;
+};
+
+struct WalContents {
+  std::vector<Record> inputs;
+};
+
+struct WalWriter {
+  std::uint64_t append_bid(std::size_t segment, bool is_offer);
+  void append_block(std::size_t shard, std::uint64_t height);
+  std::vector<std::vector<Record>> segments_;
+  std::uint64_t next_input_seq_ = 0;
+};
+
+SegmentContents read_segment(const std::string& path, std::size_t expected_segment) {
+  check(!path.empty(), "wal segment path must not be empty");  // entry check
+  SegmentContents contents;
+  contents.records.push_back({expected_segment});
+  return contents;
+}
+
+WalContents load_wal(const std::string& dir, std::size_t num_shards) {
+  WalContents contents;
+  for (std::size_t s = 0; s <= num_shards; ++s) {  // fixed segment order
+    const SegmentContents seg = read_segment(dir, s);
+    contents.inputs.insert(contents.inputs.end(), seg.records.begin(), seg.records.end());
+  }
+  for (std::size_t i = 0; i < contents.inputs.size(); ++i) {
+    check(contents.inputs[i].input_seq <= i, "wal input sequence has a gap");  // entry check
+  }
+  return contents;
+}
+
+std::uint64_t WalWriter::append_bid(std::size_t segment, bool is_offer) {
+  check(segment < segments_.size(), "wal segment out of range");  // entry check
+  Record record;
+  record.input_seq = next_input_seq_++;  // logical clock, never wall time
+  if (is_offer) record.input_seq |= 0;
+  segments_[segment].push_back(record);
+  return record.input_seq;
+}
+
+void WalWriter::append_block(std::size_t shard, std::uint64_t height) {
+  check(shard + 1 < segments_.size(), "wal shard out of range");  // entry check
+  segments_[shard + 1].push_back({height});
+}
+
+}  // namespace decloud::wal

@@ -1,0 +1,75 @@
+// Seeded violation fixture for declint over src/wal/ (NOT compiled): the
+// write-ahead log is a deterministic module — replaying a WAL must
+// rebuild byte-identical state — so a wall-clock record stamp, a
+// hash-order segment walk in the merged load, and unchecked
+// read_segment / load_wal / WalWriter::append_bid / WalWriter::append_block
+// entry points must all be findings here (declint.wal_fixture, WILL_FAIL).
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace decloud::wal {
+
+struct Record {
+  std::uint64_t input_seq = 0;
+  std::uint64_t stamp = 0;
+};
+
+struct SegmentContents {
+  std::vector<Record> records;
+};
+
+struct WalContents {
+  std::vector<Record> inputs;
+};
+
+struct WalWriter {
+  std::uint64_t append_bid(std::size_t segment, bool is_offer);
+  void append_block(std::size_t shard, std::uint64_t height);
+  std::unordered_map<std::size_t, std::vector<Record>> segments_;
+  std::uint64_t next_input_seq_ = 0;
+};
+
+// entry-ensure: a decode boundary with no check on the frame contents.
+SegmentContents read_segment(const std::string& path, std::size_t expected_segment) {
+  SegmentContents contents;
+  contents.records.push_back({expected_segment + path.size(), 0});
+  return contents;
+}
+
+// entry-ensure: the merge boundary with no sequence density check.
+WalContents load_wal(const std::string& dir, std::size_t num_shards) {
+  WalContents contents;
+  for (std::size_t s = 0; s <= num_shards; ++s) {
+    const SegmentContents seg = read_segment(dir, s);
+    contents.inputs.insert(contents.inputs.end(), seg.records.begin(), seg.records.end());
+  }
+  return contents;
+}
+
+// entry-ensure: an append boundary with no segment-range check.
+std::uint64_t WalWriter::append_bid(std::size_t segment, bool is_offer) {
+  Record record;
+  // wallclock-outside-obs: stamping records with wall time makes the
+  // replayed byte stream differ from the original — stamps must be the
+  // logical input sequence, nothing else.
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  record.stamp = static_cast<std::uint64_t>(now.count()) + (is_offer ? 1 : 0);
+  record.input_seq = next_input_seq_++;
+  segments_[segment].push_back(record);
+  return record.input_seq;
+}
+
+// entry-ensure: an append boundary with no shard-range check.
+void WalWriter::append_block(std::size_t shard, std::uint64_t height) {
+  // unordered-iter: hash-order segment walk — flushing segments in hash
+  // order reorders the on-disk frames across platforms.
+  for (auto& [segment, records] : segments_) {
+    if (segment == shard + 1) records.push_back({height, 0});
+  }
+}
+
+}  // namespace decloud::wal
